@@ -1,0 +1,225 @@
+package senn
+
+// ablation_test.go quantifies the individual design choices of the system,
+// as promised in DESIGN.md. Each ablation switches one mechanism off (or
+// swaps an implementation) and reports the effect:
+//
+//   - Heuristic 3.3 peer ordering vs arbitrary order;
+//   - the kNN_multiple stage vs single-peer verification only;
+//   - the exact arc-coverage region test vs the paper's polygonization;
+//   - EINN pruning bounds vs plain INN at the server.
+//
+// Run with: go test -bench Ablation -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/nn"
+	"repro/internal/sim"
+)
+
+// ablationScene builds a reproducible peer population over clustered POIs.
+func ablationScene(seed int64) (pois []core.POI, caches []core.PeerCache, srv *sim.ServerModule, rng *rand.Rand) {
+	rng = rand.New(rand.NewSource(seed))
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(20000, 20000))
+	pois = sim.ClusteredPOIs(3000, bounds, 120, 90, rng)
+	srv = sim.NewServerModule(pois, 30)
+	caches = make([]core.PeerCache, 1200)
+	for i := range caches {
+		loc := geom.Pt(rng.Float64()*20000, rng.Float64()*20000)
+		res := nn.BestFirst(srv.Tree(), loc, 15)
+		ns := make([]core.POI, len(res))
+		for j, r := range res {
+			ns[j] = r.Data.(core.POI)
+		}
+		caches[i] = core.NewPeerCache(loc, ns)
+	}
+	srv.ResetStats()
+	return pois, caches, srv, rng
+}
+
+// gatherPeers returns the caches within radius of q.
+func gatherPeers(q geom.Point, caches []core.PeerCache, radius float64) []core.PeerCache {
+	var out []core.PeerCache
+	for _, c := range caches {
+		if q.Dist(c.QueryLoc) <= radius {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BenchmarkAblationPeerOrdering compares Heuristic 3.3 (nearest cached query
+// location first) against the unsorted peer order: the heuristic should
+// reach k certain objects after examining fewer peers.
+func BenchmarkAblationPeerOrdering(b *testing.B) {
+	_, caches, _, rng := ablationScene(1)
+	const k = 5
+	var withH, withoutH, solvedBoth int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		home := caches[rng.Intn(len(caches))]
+		q := home.QueryLoc.Add(geom.Pt(rng.NormFloat64()*120, rng.NormFloat64()*120))
+		peers := gatherPeers(q, caches, 600)
+
+		count := func(ps []core.PeerCache) (peersUsed int, solved bool) {
+			h := core.NewResultHeap(k)
+			for _, p := range ps {
+				peersUsed++
+				core.VerifySinglePeer(q, p, h)
+				if h.Complete() {
+					return peersUsed, true
+				}
+			}
+			return peersUsed, false
+		}
+		u1, s1 := count(core.SortPeersByProximity(q, peers))
+		u2, s2 := count(peers) // arbitrary (generation) order
+		if s1 && s2 {
+			solvedBoth++
+			withH += u1
+			withoutH += u2
+		}
+	}
+	if solvedBoth > 0 {
+		b.ReportMetric(float64(withH)/float64(solvedBoth), "peersUsed/sorted")
+		b.ReportMetric(float64(withoutH)/float64(solvedBoth), "peersUsed/unsorted")
+	}
+}
+
+// BenchmarkAblationMultiPeerStage measures how many queries only the merged
+// region of kNN_multiple can resolve — the stage's whole contribution.
+func BenchmarkAblationMultiPeerStage(b *testing.B) {
+	_, caches, _, rng := ablationScene(2)
+	const k = 6
+	var singleOnly, multiRescued, unresolved int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		home := caches[rng.Intn(len(caches))]
+		q := home.QueryLoc.Add(geom.Pt(rng.NormFloat64()*150, rng.NormFloat64()*150))
+		peers := core.SortPeersByProximity(q, gatherPeers(q, caches, 400))
+		h := core.NewResultHeap(k)
+		for _, p := range peers {
+			core.VerifySinglePeer(q, p, h)
+			if h.Complete() {
+				break
+			}
+		}
+		switch {
+		case h.Complete():
+			singleOnly++
+		default:
+			core.VerifyMultiPeer(q, peers, h)
+			if h.Complete() {
+				multiRescued++
+			} else {
+				unresolved++
+			}
+		}
+	}
+	total := float64(singleOnly + multiRescued + unresolved)
+	if total > 0 {
+		b.ReportMetric(100*float64(singleOnly)/total, "single%")
+		b.ReportMetric(100*float64(multiRescued)/total, "multiRescued%")
+		b.ReportMetric(100*float64(unresolved)/total, "server%")
+	}
+}
+
+// BenchmarkAblationRegionExact and ...RegionPolygonized compare the two
+// Lemma 3.8 implementations on identical workloads: same verdicts (up to the
+// polygonization's conservatism), very different cost.
+func BenchmarkAblationRegionExact(b *testing.B) {
+	benchRegionMethod(b, func(r *geom.Region, c geom.Circle) bool { return r.CoversCircle(c) })
+}
+
+// BenchmarkAblationRegionPolygonized is the paper-faithful counterpart of
+// BenchmarkAblationRegionExact.
+func BenchmarkAblationRegionPolygonized(b *testing.B) {
+	benchRegionMethod(b, func(r *geom.Region, c geom.Circle) bool { return r.CoversCirclePolygonized(c) })
+}
+
+func benchRegionMethod(b *testing.B, covers func(*geom.Region, geom.Circle) bool) {
+	rng := rand.New(rand.NewSource(3))
+	type tc struct {
+		region *geom.Region
+		cand   geom.Circle
+	}
+	cases := make([]tc, 256)
+	for i := range cases {
+		var circles []geom.Circle
+		for j := 0; j < 2+rng.Intn(6); j++ {
+			circles = append(circles, geom.NewCircle(
+				geom.Pt(rng.Float64()*100, rng.Float64()*100), 20+rng.Float64()*30))
+		}
+		cases[i] = tc{
+			region: geom.NewRegion(circles...),
+			cand:   geom.NewCircle(geom.Pt(rng.Float64()*100, rng.Float64()*100), 5+rng.Float64()*30),
+		}
+	}
+	covered := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cases[i%len(cases)]
+		if covers(c.region, c.cand) {
+			covered++
+		}
+	}
+	b.ReportMetric(100*float64(covered)/float64(b.N), "covered%")
+}
+
+// BenchmarkAblationServerBoundsOff reruns the Figure 17 situation with the
+// bounds discarded, isolating their PAR contribution.
+func BenchmarkAblationServerBoundsOff(b *testing.B) {
+	benchServerBounds(b, false)
+}
+
+// BenchmarkAblationServerBoundsOn is the bounded counterpart.
+func BenchmarkAblationServerBoundsOn(b *testing.B) {
+	benchServerBounds(b, true)
+}
+
+func benchServerBounds(b *testing.B, useBounds bool) {
+	_, caches, srv, rng := ablationScene(4)
+	const k, capacity = 5, 15
+	tree := srv.Tree()
+	var pages int64
+	queries := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		home := caches[rng.Intn(len(caches))]
+		q := home.QueryLoc.Add(geom.Pt(rng.NormFloat64()*100, rng.NormFloat64()*100))
+		peers := core.SortPeersByProximity(q, gatherPeers(q, caches, 200))
+		h := core.NewResultHeap(capacity)
+		for _, p := range peers {
+			core.VerifySinglePeer(q, p, h)
+			if h.NumCertain() >= k {
+				break
+			}
+		}
+		if h.NumCertain() >= k {
+			continue // peer-resolved
+		}
+		bounds := nn.NoBounds
+		fetch := capacity
+		if useBounds {
+			bounds = h.Bounds()
+			bounds.HasUpper = false
+			if ub, ok := h.UpperBoundFor(k); ok {
+				bounds.Upper, bounds.HasUpper = ub, true
+			}
+			fetch = capacity - h.NumCertain()
+		}
+		tree.ResetAccessCount()
+		nn.EINN(tree, q, fetch, bounds)
+		pages += tree.AccessCount()
+		queries++
+	}
+	if queries > 0 {
+		b.ReportMetric(float64(pages)/float64(queries), "pages/serverquery")
+	}
+}

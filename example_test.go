@@ -1,0 +1,96 @@
+package senn_test
+
+import (
+	"fmt"
+
+	senn "repro"
+)
+
+// The smallest complete sharing-based query: one peer's cached 3NN result
+// fully answers a 2NN query next to it, so the database is never contacted.
+func ExampleQuery() {
+	stations := []senn.POI{
+		{ID: 1, Loc: senn.Pt(10, 0)},
+		{ID: 2, Loc: senn.Pt(0, 10)},
+		{ID: 3, Loc: senn.Pt(50, 50)},
+	}
+	db := senn.NewDatabase(stations)
+
+	// A peer cached its 3NN result at the origin.
+	peer := senn.NewPeerCache(senn.Pt(0, 0), db.KNN(senn.Pt(0, 0), 3, senn.Bounds{}))
+	db.ResetStats()
+
+	res := senn.Query(senn.Pt(1, 1), 2, []senn.PeerCache{peer}, db, senn.QueryOptions{})
+	fmt.Println("resolved by:", res.Source)
+	fmt.Println("server queries:", db.Queries())
+	for _, n := range res.Neighbors {
+		fmt.Printf("rank %d: station %d\n", n.Rank, n.ID)
+	}
+	// Output:
+	// resolved by: single-peer
+	// server queries: 0
+	// rank 1: station 1
+	// rank 2: station 2
+}
+
+// Verifying a single peer's result by hand shows the Lemma 3.2 rule: the
+// returned heap holds certain entries (provably correct) ahead of uncertain
+// ones.
+func ExampleVerifySinglePeer() {
+	// Peer at (1,0) knows every POI within distance 3 of itself.
+	peer := senn.NewPeerCache(senn.Pt(1, 0), []senn.POI{
+		{ID: 1, Loc: senn.Pt(0, 1)}, // Dist(Q,n)=1: 1+1 <= 3, certain
+		{ID: 2, Loc: senn.Pt(4, 0)}, // Dist(Q,n)=4: 4+1 >  3, uncertain
+	})
+	h := senn.NewResultHeap(2)
+	senn.VerifySinglePeer(senn.Pt(0, 0), peer, h)
+	for _, e := range h.Entries() {
+		fmt.Printf("poi %d certain=%v\n", e.ID, e.Certain)
+	}
+	// Output:
+	// poi 1 certain=true
+	// poi 2 certain=false
+}
+
+// A range query resolved entirely from a peer's cache.
+func ExampleRangeQueryWithin() {
+	pois := []senn.POI{
+		{ID: 1, Loc: senn.Pt(5, 0)},
+		{ID: 2, Loc: senn.Pt(0, 8)},
+		{ID: 3, Loc: senn.Pt(40, 0)},
+	}
+	db := senn.NewDatabase(pois)
+	peer := senn.NewPeerCache(senn.Pt(0, 0), db.KNN(senn.Pt(0, 0), 3, senn.Bounds{}))
+	db.ResetStats()
+
+	res := senn.RangeQueryWithin(senn.Pt(1, 0), 10, []senn.PeerCache{peer}, db, senn.QueryOptions{})
+	fmt.Println("certain:", res.Certain, "source:", res.Source)
+	fmt.Println("POIs within 10m:", len(res.POIs))
+	// Output:
+	// certain: true source: single-peer
+	// POIs within 10m: 2
+}
+
+// Running a miniature simulation end to end.
+func ExampleNewSimulation() {
+	cfg := senn.SimConfig{
+		AreaWidth: 1000, AreaHeight: 1000,
+		NumPOIs: 10, NumHosts: 50, CacheSize: 5,
+		MovePercentage: 0.8, Velocity: 13.4,
+		QueriesPerMinute: 60, TxRange: 200,
+		KMin: 1, KMax: 3, Duration: 300,
+		Mode: senn.ModeRoadNetwork, Seed: 42,
+	}
+	w, err := senn.NewSimulation(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := w.Run()
+	fmt.Println("queries processed:", m.TotalQueries > 0)
+	fmt.Println("shares sum to 100:",
+		int(m.ShareSingle()+m.ShareMulti()+m.SQRR()+m.ShareUncertain()+0.5) == 100)
+	// Output:
+	// queries processed: true
+	// shares sum to 100: true
+}

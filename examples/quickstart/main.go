@@ -1,0 +1,57 @@
+// Quickstart: the smallest complete SENN round trip.
+//
+// A mobile host Q needs its 3 nearest gas stations. Two nearby peers share
+// the kNN results they cached earlier; Q verifies them locally (Lemma 3.2 /
+// 3.8) and only asks the remote database for what the peers cannot certify.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	senn "repro"
+)
+
+func main() {
+	// The world: eight gas stations.
+	stations := []senn.POI{
+		{ID: 1, Loc: senn.Pt(120, 80)},
+		{ID: 2, Loc: senn.Pt(200, 150)},
+		{ID: 3, Loc: senn.Pt(90, 210)},
+		{ID: 4, Loc: senn.Pt(330, 60)},
+		{ID: 5, Loc: senn.Pt(400, 320)},
+		{ID: 6, Loc: senn.Pt(60, 380)},
+		{ID: 7, Loc: senn.Pt(280, 270)},
+		{ID: 8, Loc: senn.Pt(150, 330)},
+	}
+	// The remote spatial database: an R*-tree over the stations, queried
+	// with the bounded EINN search.
+	db := senn.NewDatabase(stations)
+
+	// Two peers cached 4NN results at their own earlier query locations.
+	// (In the running system these arrive over the ad-hoc network; here we
+	// build them from the ground truth with a direct database query.)
+	peerAt := func(p senn.Point) senn.PeerCache {
+		return senn.NewPeerCache(p, db.KNN(p, 4, senn.Bounds{}))
+	}
+	peers := []senn.PeerCache{
+		peerAt(senn.Pt(140, 120)),
+		peerAt(senn.Pt(100, 250)),
+	}
+	db.ResetStats() // peer setup queries should not count
+
+	// Q's own query.
+	q := senn.Pt(130, 160)
+	res := senn.Query(q, 3, peers, db, senn.QueryOptions{})
+
+	fmt.Printf("3NN of %v — resolved by: %v\n", q, res.Source)
+	for _, n := range res.Neighbors {
+		fmt.Printf("  rank %d: station #%d at %v (%.1f m)\n", n.Rank, n.ID, n.Loc, n.Dist)
+	}
+	fmt.Printf("peer caches used: %d, heap state: %v\n", res.PeersUsed, res.State)
+	fmt.Printf("server queries needed: %d (page accesses: %d)\n",
+		db.Queries(), db.PageAccesses())
+}

@@ -1,0 +1,53 @@
+// Range query: the paper's future-work extension, working.
+//
+// "Which coffee shops are within 400 m of me?" is a range query. The same
+// sharing machinery that verifies kNN answers verifies ranges: if the query
+// disc fits inside one peer's certain circle — or inside the merged certain
+// region of several peers — the union of their cached POIs inside the disc
+// is provably the complete answer, and the server is never contacted.
+//
+// Run with:
+//
+//	go run ./examples/rangequery
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	senn "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	shops := make([]senn.POI, 120)
+	for i := range shops {
+		shops[i] = senn.POI{ID: int64(i), Loc: senn.Pt(rng.Float64()*3000, rng.Float64()*3000)}
+	}
+	db := senn.NewDatabase(shops)
+
+	// Peers that recently ran generous kNN queries around downtown.
+	var peers []senn.PeerCache
+	for _, loc := range []senn.Point{senn.Pt(1450, 1500), senn.Pt(1650, 1480), senn.Pt(1520, 1700)} {
+		peers = append(peers, senn.NewPeerCache(loc, db.KNN(loc, 25, senn.Bounds{})))
+	}
+	db.ResetStats()
+
+	q := senn.Pt(1530, 1550)
+	for _, radius := range []float64{200, 400, 1200} {
+		res := senn.RangeQueryWithin(q, radius, peers, db, senn.QueryOptions{})
+		fmt.Printf("shops within %4.0f m: %2d  (resolved by %v, certain=%v)\n",
+			radius, len(res.POIs), res.Source, res.Certain)
+		for _, p := range res.POIs[:min(3, len(res.POIs))] {
+			fmt.Printf("    #%-3d at %.0f m\n", p.ID, p.Dist)
+		}
+	}
+	fmt.Printf("\nserver contacted %d time(s) across the three queries\n", db.Queries())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

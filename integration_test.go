@@ -1,0 +1,148 @@
+package senn
+
+// integration_test.go exercises whole-system flows across module
+// boundaries: SENN feeding SNNN, the range-query extension against the
+// R*-tree server, and peer populations produced by an actual simulation.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/spatialnet"
+)
+
+// TestSNNNOverSENNMatchesBruteForce drives the complete §3.4 pipeline: the
+// Euclidean candidate stream comes from SENN (peers + bounded server
+// fallback), network distances come from a generated road network, and the
+// result must equal the brute-force network kNN over all POIs.
+func TestSNNNOverSENNMatchesBruteForce(t *testing.T) {
+	roads, err := GenerateRoadNetwork(GridConfig{
+		Width: 3000, Height: 3000, Spacing: 250, SecondaryEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	edges := roads.Edges()
+	pois := make([]POI, 50)
+	for i := range pois {
+		e := edges[rng.Intn(len(edges))]
+		pois[i] = POI{ID: int64(i), Loc: roads.Loc(e.From).Lerp(roads.Loc(e.To), rng.Float64())}
+	}
+	db := NewDatabase(pois)
+	var peers []PeerCache
+	for i := 0; i < 10; i++ {
+		loc := Pt(rng.Float64()*3000, rng.Float64()*3000)
+		peers = append(peers, NewPeerCache(loc, db.KNN(loc, 8, Bounds{})))
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		q := Pt(rng.Float64()*3000, rng.Float64()*3000)
+		k := 1 + rng.Intn(4)
+		fetch := func(n int) []POI {
+			r := Query(q, n, peers, db, QueryOptions{})
+			out := make([]POI, len(r.Neighbors))
+			for i, rp := range r.Neighbors {
+				out[i] = rp.POI
+			}
+			return out
+		}
+		nd := NetworkDistance(roads, q)
+		got := NetworkQuery(q, k, fetch, nd)
+		want := spatialnet.BruteForceNetworkKNN(q, k, pois, nd)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].ND-want[i].ND) > 1e-6 {
+				t.Fatalf("trial %d rank %d: ND %v, want %v", trial, i+1, got[i].ND, want[i].ND)
+			}
+		}
+	}
+}
+
+// TestRangeQueryAgainstServerOracle validates the range extension end to end
+// over the R*-tree server.
+func TestRangeQueryAgainstServerOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pois := make([]POI, 300)
+	for i := range pois {
+		pois[i] = POI{ID: int64(i), Loc: Pt(rng.Float64()*2000, rng.Float64()*2000)}
+	}
+	db := NewDatabase(pois)
+	var peers []PeerCache
+	for i := 0; i < 8; i++ {
+		loc := Pt(rng.Float64()*2000, rng.Float64()*2000)
+		peers = append(peers, NewPeerCache(loc, db.KNN(loc, 20, Bounds{})))
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		q := Pt(rng.Float64()*2000, rng.Float64()*2000)
+		r := rng.Float64() * 400
+		res := RangeQueryWithin(q, r, peers, db, QueryOptions{})
+		if !res.Certain {
+			t.Fatalf("trial %d: server-backed range query not certain", trial)
+		}
+		want := map[int64]bool{}
+		for _, p := range pois {
+			if q.Dist(p.Loc) <= r {
+				want[p.ID] = true
+			}
+		}
+		if len(res.POIs) != len(want) {
+			t.Fatalf("trial %d (src %v): got %d POIs, want %d",
+				trial, res.Source, len(res.POIs), len(want))
+		}
+		for _, p := range res.POIs {
+			if !want[p.ID] {
+				t.Fatalf("trial %d: unexpected POI %d", trial, p.ID)
+			}
+		}
+	}
+}
+
+// TestSimulationPeersAreValidCaches runs a short simulation and then
+// validates that every cache the hosts hold is a sound shareable result: an
+// exact distance prefix of the POI set around its query location.
+func TestSimulationPeersAreValidCaches(t *testing.T) {
+	cfg := PaperConfig(LosAngeles, Area2mi)
+	cfg.Duration = 600
+	w, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Run()
+	pois := w.Server().POIs()
+
+	checked := 0
+	// Reconstruct peer caches by querying the same infrastructure the
+	// simulator uses: collect every host's cache via a fresh SENN query
+	// audit is not needed — validate through the server's POI set directly.
+	for _, pc := range harvestCaches(w) {
+		if pc.IsEmpty() {
+			continue
+		}
+		checked++
+		// Every POI strictly inside the cache circle must be cached.
+		r := pc.Radius()
+		cached := map[int64]bool{}
+		for _, n := range pc.Neighbors {
+			cached[n.ID] = true
+		}
+		for _, p := range pois {
+			if pc.QueryLoc.Dist(p.Loc) < r-1e-9 && !cached[p.ID] {
+				t.Fatalf("cache at %v radius %.1f misses POI %d at %.1f — not an exact prefix",
+					pc.QueryLoc, r, p.ID, pc.QueryLoc.Dist(p.Loc))
+			}
+		}
+	}
+	if checked < 50 {
+		t.Errorf("only %d caches to check; run too short", checked)
+	}
+}
+
+// harvestCaches extracts the current cache entries of all hosts.
+func harvestCaches(w *Simulation) []PeerCache {
+	return w.PeerCachesSnapshot()
+}

@@ -1,0 +1,72 @@
+// Package cache implements the mobile-host NN result cache of the paper's
+// simulator (§4.1), with its two management policies:
+//
+//  1. a host stores only the query location and the certain nearest
+//     neighbors of its most recent query, and
+//  2. when a kNN query must be sent to the server, the host queries for as
+//     many NNs as its cache capacity allows, so the cache refills to
+//     capacity on every server round trip.
+//
+// The cached entry is exactly what the host shares with peers as a
+// core.PeerCache.
+package cache
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Cache is one mobile host's NN result cache. The zero value is unusable;
+// construct with New.
+type Cache struct {
+	capacity int
+	entry    core.PeerCache
+	valid    bool
+}
+
+// New returns an empty cache holding up to capacity POIs (the C_Size
+// simulation parameter). capacity must be positive.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	return &Cache{capacity: capacity}
+}
+
+// Capacity returns C_Size. Per policy 2 it is also the result count a host
+// requests when it must contact the server.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Store replaces the cache content with the result of the host's most
+// recent query (policy 1). Only certain POIs may be stored — the
+// verification lemmas require peers to share exact top-k sets — and at most
+// Capacity of the nearest ones are kept. Storing an empty set invalidates
+// the cache.
+func (c *Cache) Store(queryLoc geom.Point, certain []core.POI) {
+	if len(certain) == 0 {
+		c.valid = false
+		c.entry = core.PeerCache{}
+		return
+	}
+	pc := core.NewPeerCache(queryLoc, certain)
+	if len(pc.Neighbors) > c.capacity {
+		pc.Neighbors = pc.Neighbors[:c.capacity]
+	}
+	c.entry = pc
+	c.valid = true
+}
+
+// Entry returns the shareable cached result. ok is false when the cache is
+// empty.
+func (c *Cache) Entry() (core.PeerCache, bool) {
+	if !c.valid {
+		return core.PeerCache{}, false
+	}
+	return c.entry, true
+}
+
+// Invalidate clears the cache.
+func (c *Cache) Invalidate() {
+	c.valid = false
+	c.entry = core.PeerCache{}
+}

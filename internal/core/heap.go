@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// HeapState classifies the content of the result heap H after kNN_single and
+// kNN_multiple have run without certifying k objects (§3.3). The state
+// determines which branch-expanding bounds can be forwarded to the server.
+type HeapState int
+
+const (
+	// StateFullMixed — H is full with both certain and uncertain entries:
+	// both bounds available.
+	StateFullMixed HeapState = 1
+	// StateFullUncertain — H is full with only uncertain entries: upper
+	// bound only.
+	StateFullUncertain HeapState = 2
+	// StateNotFullMixed — H is not full, both kinds present: lower bound
+	// only.
+	StateNotFullMixed HeapState = 3
+	// StateNotFullCertain — H is not full with only certain entries: lower
+	// bound only.
+	StateNotFullCertain HeapState = 4
+	// StateNotFullUncertain — H is not full with only uncertain entries: no
+	// bounds.
+	StateNotFullUncertain HeapState = 5
+	// StateEmpty — H holds nothing: no bounds.
+	StateEmpty HeapState = 6
+)
+
+// String implements fmt.Stringer.
+func (s HeapState) String() string {
+	switch s {
+	case StateFullMixed:
+		return "full/mixed"
+	case StateFullUncertain:
+		return "full/uncertain"
+	case StateNotFullMixed:
+		return "notfull/mixed"
+	case StateNotFullCertain:
+		return "notfull/certain"
+	case StateNotFullUncertain:
+		return "notfull/uncertain"
+	case StateEmpty:
+		return "empty"
+	default:
+		return "invalid"
+	}
+}
+
+// Candidate is an entry of the result heap H: a POI, its distance to the
+// query point, and whether peer verification certified it as a true nearest
+// neighbor.
+type Candidate struct {
+	POI
+	Dist    float64
+	Certain bool
+}
+
+// ResultHeap is the paper's heap H (§3.2.1, Table 1): a bounded container of
+// the k best candidates discovered so far. Certain entries are kept in
+// ascending distance order ahead of uncertain entries (also ascending);
+// uncertain entries exist only while fewer than k certain ones are known,
+// and a newly certified object evicts the worst uncertain one. Entries are
+// deduplicated by POI ID, and certifying an already-present uncertain POI
+// upgrades it in place.
+type ResultHeap struct {
+	k         int
+	certain   []Candidate
+	uncertain []Candidate
+	byID      map[int64]bool
+}
+
+// NewResultHeap returns an empty heap for a query requesting k neighbors.
+// k must be positive.
+func NewResultHeap(k int) *ResultHeap {
+	if k <= 0 {
+		panic("core: result heap needs k > 0")
+	}
+	return &ResultHeap{k: k, byID: make(map[int64]bool)}
+}
+
+// K returns the requested result count.
+func (h *ResultHeap) K() int { return h.k }
+
+// Len returns the number of entries currently held.
+func (h *ResultHeap) Len() int { return len(h.certain) + len(h.uncertain) }
+
+// NumCertain returns the number of certified entries.
+func (h *ResultHeap) NumCertain() int { return len(h.certain) }
+
+// Full reports whether the heap holds k entries.
+func (h *ResultHeap) Full() bool { return h.Len() >= h.k }
+
+// Complete reports whether the heap holds k certain entries — a fully
+// verified answer.
+func (h *ResultHeap) Complete() bool { return len(h.certain) >= h.k }
+
+// Add inserts a candidate, enforcing the heap discipline described on the
+// type. It reports whether the heap content changed.
+func (h *ResultHeap) Add(c Candidate) bool {
+	if c.Certain {
+		return h.addCertain(c)
+	}
+	return h.addUncertain(c)
+}
+
+func (h *ResultHeap) addCertain(c Candidate) bool {
+	if h.byID[c.ID] {
+		// Possibly an upgrade of an uncertain entry.
+		for i := range h.uncertain {
+			if h.uncertain[i].ID == c.ID {
+				h.uncertain = append(h.uncertain[:i], h.uncertain[i+1:]...)
+				return h.insertCertain(c)
+			}
+		}
+		return false // already certain
+	}
+	h.byID[c.ID] = true
+	return h.insertCertain(c)
+}
+
+func (h *ResultHeap) insertCertain(c Candidate) bool {
+	i := sort.Search(len(h.certain), func(i int) bool { return h.certain[i].Dist > c.Dist })
+	h.certain = append(h.certain, Candidate{})
+	copy(h.certain[i+1:], h.certain[i:])
+	h.certain[i] = c
+	if len(h.certain) > h.k {
+		// More certain objects than requested: keep the k nearest.
+		drop := h.certain[len(h.certain)-1]
+		delete(h.byID, drop.ID)
+		h.certain = h.certain[:len(h.certain)-1]
+	}
+	h.trimUncertain()
+	return true
+}
+
+func (h *ResultHeap) addUncertain(c Candidate) bool {
+	if h.byID[c.ID] {
+		return false // certain or already queued: nothing to improve
+	}
+	room := h.k - len(h.certain)
+	if room <= 0 {
+		return false
+	}
+	i := sort.Search(len(h.uncertain), func(i int) bool { return h.uncertain[i].Dist > c.Dist })
+	if i >= room {
+		return false // worse than every kept uncertain entry
+	}
+	h.byID[c.ID] = true
+	h.uncertain = append(h.uncertain, Candidate{})
+	copy(h.uncertain[i+1:], h.uncertain[i:])
+	h.uncertain[i] = c
+	h.trimUncertain()
+	return true
+}
+
+// trimUncertain drops uncertain entries beyond the k - numCertain budget.
+func (h *ResultHeap) trimUncertain() {
+	room := h.k - len(h.certain)
+	if room < 0 {
+		room = 0
+	}
+	for len(h.uncertain) > room {
+		drop := h.uncertain[len(h.uncertain)-1]
+		delete(h.byID, drop.ID)
+		h.uncertain = h.uncertain[:len(h.uncertain)-1]
+	}
+}
+
+// Entries returns the heap content in order: certain entries ascending by
+// distance, then uncertain entries ascending (the layout of Table 1).
+func (h *ResultHeap) Entries() []Candidate {
+	out := make([]Candidate, 0, h.Len())
+	out = append(out, h.certain...)
+	out = append(out, h.uncertain...)
+	return out
+}
+
+// CertainEntries returns the certified prefix in ascending distance order.
+// Because the verified set is rank-prefix-closed (Lemma 3.7), entry i has
+// exact rank i+1.
+func (h *ResultHeap) CertainEntries() []Candidate {
+	return append([]Candidate(nil), h.certain...)
+}
+
+// State classifies the heap per §3.3.
+func (h *ResultHeap) State() HeapState {
+	nc, nu := len(h.certain), len(h.uncertain)
+	switch {
+	case nc == 0 && nu == 0:
+		return StateEmpty
+	case h.Full() && nc > 0 && nu > 0:
+		return StateFullMixed
+	case h.Full() && nc == 0:
+		return StateFullUncertain
+	case h.Full() && nu == 0:
+		// k certain entries: the query is complete; no bounds are needed,
+		// but classify as certain-only for symmetry.
+		return StateNotFullCertain
+	case nc > 0 && nu > 0:
+		return StateNotFullMixed
+	case nc > 0:
+		return StateNotFullCertain
+	default:
+		return StateNotFullUncertain
+	}
+}
+
+// Bounds derives the branch-expanding bounds of §3.3 from the heap state:
+//
+//   - upper bound — available when H is full: the distance of the last
+//     (farthest) entry. No true kNN member can be farther, so the server
+//     discards every MBR with MINDIST above it (upward pruning).
+//   - lower bound — available when at least one certain entry exists: the
+//     distance D_ct of the last certain entry. Every POI within the circle
+//     C_r of that radius is already known at the client, so the server skips
+//     POIs inside it and prunes every MBR with MAXDIST below it (downward
+//     pruning).
+func (h *ResultHeap) Bounds() nn.Bounds {
+	var b nn.Bounds
+	if len(h.certain) > 0 {
+		b.HasLower = true
+		b.Lower = h.certain[len(h.certain)-1].Dist
+	}
+	if h.Full() {
+		b.HasUpper = true
+		b.Upper = math.Max(h.lastDist(), b.Lower)
+	}
+	return b
+}
+
+// UpperBoundFor returns a valid branch-expanding upper bound for a k-NN
+// query derived from this heap even when the heap was sized larger than k
+// (e.g. at cache capacity): the k-th smallest distance among the held
+// entries. Since the heap holds distinct POIs, the true d_k cannot exceed
+// it. ok is false when fewer than k entries are held.
+func (h *ResultHeap) UpperBoundFor(k int) (float64, bool) {
+	if h.Len() < k || k <= 0 {
+		return 0, false
+	}
+	dists := make([]float64, 0, h.Len())
+	for _, c := range h.certain {
+		dists = append(dists, c.Dist)
+	}
+	for _, c := range h.uncertain {
+		dists = append(dists, c.Dist)
+	}
+	sort.Float64s(dists)
+	return dists[k-1], true
+}
+
+func (h *ResultHeap) lastDist() float64 {
+	if len(h.uncertain) > 0 {
+		return h.uncertain[len(h.uncertain)-1].Dist
+	}
+	if len(h.certain) > 0 {
+		return h.certain[len(h.certain)-1].Dist
+	}
+	return 0
+}

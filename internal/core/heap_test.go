@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func cand(id int64, dist float64, certain bool) Candidate {
+	return Candidate{POI: POI{ID: id, Loc: geom.Pt(dist, 0)}, Dist: dist, Certain: certain}
+}
+
+func TestNewResultHeapValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewResultHeap(0) should panic")
+		}
+	}()
+	NewResultHeap(0)
+}
+
+// Table 1 of the paper: after processing P1 and P2 for a 4NN query the heap
+// holds two certain entries at distances sqrt(2) and sqrt(3) followed by two
+// uncertain entries at sqrt(5) and sqrt(8).
+func TestHeapTable1Example(t *testing.T) {
+	h := NewResultHeap(4)
+	// Insertion order deliberately scrambled: the heap must order them.
+	h.Add(cand(3, math.Sqrt(5), false)) // n3-P1
+	h.Add(cand(1, math.Sqrt(3), true))  // n1-P1
+	h.Add(cand(4, math.Sqrt(8), false)) // n3-P2
+	h.Add(cand(2, math.Sqrt(2), true))  // n2-P1
+
+	entries := h.Entries()
+	if len(entries) != 4 {
+		t.Fatalf("heap size %d, want 4", len(entries))
+	}
+	wantDists := []float64{math.Sqrt(2), math.Sqrt(3), math.Sqrt(5), math.Sqrt(8)}
+	wantCertain := []bool{true, true, false, false}
+	for i, e := range entries {
+		if math.Abs(e.Dist-wantDists[i]) > 1e-12 || e.Certain != wantCertain[i] {
+			t.Errorf("entry %d = {dist %v certain %v}, want {%v %v}",
+				i, e.Dist, e.Certain, wantDists[i], wantCertain[i])
+		}
+	}
+	if h.Complete() {
+		t.Error("heap with 2 certain of 4 must not be complete")
+	}
+	if !h.Full() {
+		t.Error("heap with 4 entries must be full")
+	}
+	if h.State() != StateFullMixed {
+		t.Errorf("state = %v, want %v", h.State(), StateFullMixed)
+	}
+	b := h.Bounds()
+	if !b.HasLower || math.Abs(b.Lower-math.Sqrt(3)) > 1e-12 {
+		t.Errorf("lower bound = %+v, want sqrt(3)", b)
+	}
+	if !b.HasUpper || math.Abs(b.Upper-math.Sqrt(8)) > 1e-12 {
+		t.Errorf("upper bound = %+v, want sqrt(8)", b)
+	}
+}
+
+func TestHeapCertainEvictsUncertain(t *testing.T) {
+	h := NewResultHeap(3)
+	h.Add(cand(1, 1, false))
+	h.Add(cand(2, 2, false))
+	h.Add(cand(3, 3, false))
+	if !h.Full() || h.NumCertain() != 0 {
+		t.Fatal("setup failed")
+	}
+	// A certain entry must displace the worst uncertain one.
+	h.Add(cand(4, 5, true))
+	entries := h.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("size %d after eviction", len(entries))
+	}
+	if !entries[0].Certain || entries[0].ID != 4 {
+		t.Errorf("certain entry should lead: %+v", entries[0])
+	}
+	// The evicted entry must be the farthest uncertain (id 3 at dist 3).
+	for _, e := range entries {
+		if e.ID == 3 {
+			t.Error("worst uncertain entry not evicted")
+		}
+	}
+}
+
+func TestHeapDedupAndUpgrade(t *testing.T) {
+	h := NewResultHeap(4)
+	if !h.Add(cand(7, 2, false)) {
+		t.Fatal("first add failed")
+	}
+	if h.Add(cand(7, 2, false)) {
+		t.Error("duplicate uncertain add should be a no-op")
+	}
+	if !h.Add(cand(7, 2, true)) {
+		t.Error("certifying an uncertain entry should change the heap")
+	}
+	if h.NumCertain() != 1 || h.Len() != 1 {
+		t.Fatalf("after upgrade: certain=%d len=%d", h.NumCertain(), h.Len())
+	}
+	if h.Add(cand(7, 2, true)) {
+		t.Error("re-certifying should be a no-op")
+	}
+	if h.Add(cand(7, 2, false)) {
+		t.Error("downgrade attempt should be a no-op")
+	}
+	if !h.Entries()[0].Certain {
+		t.Error("certified entry lost its certainty")
+	}
+}
+
+func TestHeapKeepsKNearestCertain(t *testing.T) {
+	h := NewResultHeap(2)
+	h.Add(cand(1, 10, true))
+	h.Add(cand(2, 20, true))
+	h.Add(cand(3, 5, true))
+	entries := h.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("size %d", len(entries))
+	}
+	if entries[0].ID != 3 || entries[1].ID != 1 {
+		t.Errorf("kept %v and %v, want ids 3 and 1", entries[0].ID, entries[1].ID)
+	}
+	if !h.Complete() {
+		t.Error("two certain entries of k=2 should be complete")
+	}
+}
+
+func TestHeapUncertainBudget(t *testing.T) {
+	h := NewResultHeap(3)
+	h.Add(cand(1, 1, true))
+	h.Add(cand(2, 2, true))
+	// Only one uncertain slot remains.
+	h.Add(cand(3, 9, false))
+	h.Add(cand(4, 4, false)) // better: must displace id 3
+	entries := h.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("size %d", len(entries))
+	}
+	if entries[2].ID != 4 || entries[2].Certain {
+		t.Errorf("last entry = %+v, want uncertain id 4", entries[2])
+	}
+	// Worse than every kept entry: rejected outright.
+	if h.Add(cand(5, 100, false)) {
+		t.Error("hopeless uncertain candidate should be rejected")
+	}
+}
+
+func TestHeapStatesAndBounds(t *testing.T) {
+	mk := func(k int, certain, uncertain []float64) *ResultHeap {
+		h := NewResultHeap(k)
+		id := int64(1)
+		for _, d := range certain {
+			h.Add(cand(id, d, true))
+			id++
+		}
+		for _, d := range uncertain {
+			h.Add(cand(id, d, false))
+			id++
+		}
+		return h
+	}
+	tests := []struct {
+		name               string
+		h                  *ResultHeap
+		state              HeapState
+		hasLower, hasUpper bool
+		lower, upper       float64
+	}{
+		{"state1 full mixed", mk(3, []float64{1, 2}, []float64{5}), StateFullMixed, true, true, 2, 5},
+		{"state2 full uncertain", mk(2, nil, []float64{3, 4}), StateFullUncertain, false, true, 0, 4},
+		{"state3 notfull mixed", mk(4, []float64{1}, []float64{6}), StateNotFullMixed, true, false, 1, 0},
+		{"state4 notfull certain", mk(4, []float64{1, 2}, nil), StateNotFullCertain, true, false, 2, 0},
+		{"state5 notfull uncertain", mk(4, nil, []float64{7}), StateNotFullUncertain, false, false, 0, 0},
+		{"state6 empty", mk(4, nil, nil), StateEmpty, false, false, 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.h.State(); got != tc.state {
+				t.Errorf("state = %v, want %v", got, tc.state)
+			}
+			b := tc.h.Bounds()
+			if b.HasLower != tc.hasLower || b.HasUpper != tc.hasUpper {
+				t.Fatalf("bounds flags = %+v, want lower=%v upper=%v", b, tc.hasLower, tc.hasUpper)
+			}
+			if tc.hasLower && math.Abs(b.Lower-tc.lower) > 1e-12 {
+				t.Errorf("lower = %v, want %v", b.Lower, tc.lower)
+			}
+			if tc.hasUpper && math.Abs(b.Upper-tc.upper) > 1e-12 {
+				t.Errorf("upper = %v, want %v", b.Upper, tc.upper)
+			}
+		})
+	}
+}
+
+// The upper bound must dominate the lower bound even when the farthest
+// uncertain entry sits closer than the farthest certain one.
+func TestHeapUpperAtLeastLower(t *testing.T) {
+	h := NewResultHeap(3)
+	h.Add(cand(1, 1, false))
+	h.Add(cand(2, 2, false))
+	h.Add(cand(3, 9, true)) // certain beyond the uncertain entries
+	b := h.Bounds()
+	if !b.HasLower || !b.HasUpper {
+		t.Fatalf("bounds = %+v", b)
+	}
+	if b.Upper < b.Lower {
+		t.Errorf("upper %v below lower %v", b.Upper, b.Lower)
+	}
+}
+
+func TestUpperBoundFor(t *testing.T) {
+	h := NewResultHeap(10)
+	h.Add(cand(1, 5, true))
+	h.Add(cand(2, 1, false))
+	h.Add(cand(3, 9, false))
+	h.Add(cand(4, 3, true))
+	// Distances held: {5, 3 certain; 1, 9 uncertain} -> sorted {1,3,5,9}.
+	tests := []struct {
+		k    int
+		want float64
+		ok   bool
+	}{
+		{1, 1, true},
+		{2, 3, true},
+		{3, 5, true},
+		{4, 9, true},
+		{5, 0, false}, // more than held
+		{0, 0, false},
+	}
+	for _, tc := range tests {
+		got, ok := h.UpperBoundFor(tc.k)
+		if ok != tc.ok || (ok && math.Abs(got-tc.want) > 1e-12) {
+			t.Errorf("UpperBoundFor(%d) = %v ok=%v, want %v ok=%v", tc.k, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// UpperBoundFor must be a valid upper bound on the true d_k: holding m >= k
+// distinct POIs, the k-th smallest held distance cannot be below d_k.
+func TestUpperBoundForValidity(t *testing.T) {
+	// POIs on a line; the heap holds an arbitrary subset.
+	h := NewResultHeap(8)
+	dists := []float64{2, 4, 6, 8, 10}
+	for i, d := range dists {
+		h.Add(cand(int64(i), d, i%2 == 0))
+	}
+	// True universe: POIs at distance 1..10; true d_3 = 3.
+	for k := 1; k <= len(dists); k++ {
+		ub, ok := h.UpperBoundFor(k)
+		if !ok {
+			t.Fatalf("UpperBoundFor(%d) not available", k)
+		}
+		trueDk := float64(k) // if the universe were 1,2,3,...
+		if ub < trueDk {
+			t.Fatalf("k=%d: upper bound %v below a possible true d_k %v", k, ub, trueDk)
+		}
+	}
+}
+
+func TestHeapStateStrings(t *testing.T) {
+	states := []HeapState{StateFullMixed, StateFullUncertain, StateNotFullMixed,
+		StateNotFullCertain, StateNotFullUncertain, StateEmpty, HeapState(99)}
+	for _, s := range states {
+		if s.String() == "" {
+			t.Errorf("empty string for state %d", int(s))
+		}
+	}
+}
+
+func TestHeapCertainEntriesCopy(t *testing.T) {
+	h := NewResultHeap(2)
+	h.Add(cand(1, 1, true))
+	cs := h.CertainEntries()
+	cs[0].Dist = 999
+	if h.CertainEntries()[0].Dist == 999 {
+		t.Error("CertainEntries must return a copy")
+	}
+}

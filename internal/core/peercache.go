@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// PeerCache is the NN query result a peer shares over the ad-hoc network:
+// the location at which the peer issued its most recent kNN query and the
+// certain nearest neighbors it obtained, sorted in ascending order of their
+// distance to the query location (the paper's <n_i, P> tuples).
+//
+// The crucial property the verification lemmas rely on: the peer's cached
+// set contains every POI within CertainCircle() — the disc centered at
+// QueryLoc with radius Radius() — because the cached neighbors are the exact
+// top-k of the query location.
+type PeerCache struct {
+	QueryLoc  geom.Point
+	Neighbors []POI
+}
+
+// NewPeerCache builds a PeerCache from an unordered neighbor set, sorting by
+// distance to the query location.
+func NewPeerCache(queryLoc geom.Point, neighbors []POI) PeerCache {
+	ns := make([]POI, len(neighbors))
+	copy(ns, neighbors)
+	sort.Slice(ns, func(i, j int) bool {
+		return queryLoc.Dist2(ns[i].Loc) < queryLoc.Dist2(ns[j].Loc)
+	})
+	return PeerCache{QueryLoc: queryLoc, Neighbors: ns}
+}
+
+// IsEmpty reports whether the cache holds no neighbors (nothing to share).
+func (pc PeerCache) IsEmpty() bool { return len(pc.Neighbors) == 0 }
+
+// Radius returns Dist(P, n_k): the distance from the cached query location to
+// the farthest cached neighbor, i.e. the radius of the peer's certain area.
+// It is zero for an empty cache.
+func (pc PeerCache) Radius() float64 {
+	if len(pc.Neighbors) == 0 {
+		return 0
+	}
+	return pc.QueryLoc.Dist(pc.Neighbors[len(pc.Neighbors)-1].Loc)
+}
+
+// CertainCircle returns the disc within which the peer knows every POI.
+func (pc PeerCache) CertainCircle() geom.Circle {
+	return geom.NewCircle(pc.QueryLoc, pc.Radius())
+}
+
+// String implements fmt.Stringer.
+func (pc PeerCache) String() string {
+	return fmt.Sprintf("peercache(%s, %d neighbors, r=%.2f)",
+		pc.QueryLoc, len(pc.Neighbors), pc.Radius())
+}
+
+// SortPeersByProximity orders peer caches in ascending distance between
+// their cached query locations and the query point q. This is Heuristic 3.3:
+// cached query locations closer to Q are more likely to contribute certain
+// neighbors, so processing them first tends to fill the heap sooner.
+func SortPeersByProximity(q geom.Point, peers []PeerCache) []PeerCache {
+	out := make([]PeerCache, len(peers))
+	copy(out, peers)
+	sort.SliceStable(out, func(i, j int) bool {
+		return q.Dist2(out[i].QueryLoc) < q.Dist2(out[j].QueryLoc)
+	})
+	return out
+}

@@ -1,0 +1,34 @@
+// Package core implements the paper's primary contribution: sharing-based
+// nearest-neighbor queries (SENN, §3.2–3.3). A mobile host answers a kNN
+// query by verifying the cached kNN results of nearby peers — first one peer
+// at a time (kNN_single, Lemmas 3.1/3.2), then against the merged certain
+// region of all peers (kNN_multiple, Lemma 3.8) — and falls back to the
+// remote spatial database server only for the part that cannot be certified,
+// shipping the pruning bounds of §3.3 along with the query.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// POI is a point of interest (e.g. a gas station): the object type the
+// paper's kNN queries target. IDs are unique within a data set; following the
+// paper's notation, the ID stands in for the object and its coordinates.
+type POI struct {
+	ID  int64
+	Loc geom.Point
+}
+
+// String implements fmt.Stringer.
+func (p POI) String() string { return fmt.Sprintf("poi#%d@%s", p.ID, p.Loc) }
+
+// RankedPOI is a POI together with its Euclidean distance to a query point
+// and, when known exactly, its rank among the query point's nearest
+// neighbors (1-based; 0 when the rank is not certified).
+type RankedPOI struct {
+	POI
+	Dist float64
+	Rank int
+}

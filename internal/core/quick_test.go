@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// heapInvariants checks every structural invariant of the result heap H.
+func heapInvariants(h *ResultHeap) error {
+	entries := h.Entries()
+	if len(entries) > h.K() {
+		return errorf("heap holds %d > k=%d entries", len(entries), h.K())
+	}
+	seen := map[int64]bool{}
+	certainEnded := false
+	prevCertain, prevUncertain := math.Inf(-1), math.Inf(-1)
+	for _, e := range entries {
+		if seen[e.ID] {
+			return errorf("duplicate POI %d", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Certain {
+			if certainEnded {
+				return errorf("certain entry after uncertain section")
+			}
+			if e.Dist < prevCertain-1e-12 {
+				return errorf("certain entries not ascending")
+			}
+			prevCertain = e.Dist
+		} else {
+			certainEnded = true
+			if e.Dist < prevUncertain-1e-12 {
+				return errorf("uncertain entries not ascending")
+			}
+			prevUncertain = e.Dist
+		}
+	}
+	if h.NumCertain() < h.K() && h.Len() > h.K() {
+		return errorf("len exceeds k")
+	}
+	return nil
+}
+
+func errorf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+// quickCandidate is a generator-friendly candidate description.
+type quickCandidate struct {
+	ID      uint8
+	Dist    float64
+	Certain bool
+}
+
+// The heap must maintain its invariants under any insertion sequence, and
+// certified IDs must never lose certainty.
+func TestHeapInvariantsQuick(t *testing.T) {
+	f := func(k uint8, stream []quickCandidate) bool {
+		kk := int(k%9) + 1
+		h := NewResultHeap(kk)
+		certified := map[int64]bool{}
+		for _, qc := range stream {
+			d := math.Abs(qc.Dist)
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				d = 1
+			}
+			c := Candidate{
+				POI:     POI{ID: int64(qc.ID), Loc: geom.Pt(d, 0)},
+				Dist:    d,
+				Certain: qc.Certain,
+			}
+			h.Add(c)
+			if err := heapInvariants(h); err != nil {
+				t.Logf("invariant violated after adding %+v: %v", c, err)
+				return false
+			}
+			if qc.Certain {
+				certified[c.ID] = true
+			}
+			// Certified IDs still present must remain certain.
+			for _, e := range h.Entries() {
+				if certified[e.ID] && !e.Certain {
+					t.Logf("POI %d lost certainty", e.ID)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Bounds derived from any heap state must be internally consistent: upper >=
+// lower whenever both exist, and both non-negative.
+func TestHeapBoundsConsistencyQuick(t *testing.T) {
+	f := func(k uint8, stream []quickCandidate) bool {
+		kk := int(k%9) + 1
+		h := NewResultHeap(kk)
+		for _, qc := range stream {
+			d := math.Abs(qc.Dist)
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				d = 1
+			}
+			h.Add(Candidate{
+				POI:     POI{ID: int64(qc.ID), Loc: geom.Pt(d, 0)},
+				Dist:    d,
+				Certain: qc.Certain,
+			})
+			b := h.Bounds()
+			if b.HasLower && b.Lower < 0 {
+				return false
+			}
+			if b.HasUpper && b.HasLower && b.Upper < b.Lower-1e-12 {
+				return false
+			}
+			if b.HasUpper && !h.Full() {
+				return false // upper bound requires a full heap
+			}
+			if b.HasLower && h.NumCertain() == 0 {
+				return false // lower bound requires a certain entry
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Peer cache construction must sort neighbors and report a radius equal to
+// the farthest one, for any input order.
+func TestPeerCacheQuick(t *testing.T) {
+	f := func(seed int64, xs []float64) bool {
+		loc := geom.Pt(0, 0)
+		var pois []POI
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			pois = append(pois, POI{ID: int64(i), Loc: geom.Pt(math.Mod(x, 1e6), 0)})
+		}
+		pc := NewPeerCache(loc, pois)
+		var prev float64 = -1
+		for _, n := range pc.Neighbors {
+			d := loc.Dist(n.Loc)
+			if d < prev-1e-12 {
+				return false
+			}
+			prev = d
+		}
+		if len(pc.Neighbors) > 0 && math.Abs(pc.Radius()-prev) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

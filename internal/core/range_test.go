@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// rangeOracle computes the exact range answer by linear scan.
+func rangeOracle(q geom.Point, r float64, pois []POI) []int64 {
+	var ids []int64
+	for _, p := range pois {
+		if q.Dist(p.Loc) <= r {
+			ids = append(ids, p.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func idsOf(rs []RankedPOI) []int64 {
+	ids := make([]int64, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRangeQuerySolvedBySinglePeer(t *testing.T) {
+	// Peer queried at the origin with a big cache; query disc well inside
+	// its certain circle.
+	rng := rand.New(rand.NewSource(1))
+	var pois []POI
+	for i := 0; i < 40; i++ {
+		pois = append(pois, POI{ID: int64(i), Loc: geom.Pt(rng.NormFloat64()*100, rng.NormFloat64()*100)})
+	}
+	peer := honestCache(geom.Pt(0, 0), pois, 30)
+	q := geom.Pt(10, 5)
+	r := peer.Radius() / 3
+
+	res := RangeQuery(q, r, []PeerCache{peer}, nil, Options{})
+	if res.Source != SolvedBySinglePeer || !res.Certain {
+		t.Fatalf("source=%v certain=%v", res.Source, res.Certain)
+	}
+	if !sameIDs(idsOf(res.POIs), rangeOracle(q, r, pois)) {
+		t.Fatalf("peer range answer differs from oracle")
+	}
+	for i, p := range res.POIs {
+		if p.Rank != i+1 {
+			t.Errorf("rank %d at index %d", p.Rank, i)
+		}
+		if i > 0 && p.Dist < res.POIs[i-1].Dist {
+			t.Error("results not distance sorted")
+		}
+	}
+}
+
+func TestRangeQueryMultiPeerUnion(t *testing.T) {
+	// Two flanking peers whose union covers the query disc although neither
+	// circle does alone (the Figure 7 construction adapted to ranges).
+	target := POI{ID: 10, Loc: geom.Pt(0, 2.5)}
+	f3 := POI{ID: 11, Loc: geom.Pt(-7, 0)}
+	f4 := POI{ID: 12, Loc: geom.Pt(7, 0)}
+	p3 := NewPeerCache(geom.Pt(-3, 0), []POI{target, f3})
+	p4 := NewPeerCache(geom.Pt(3, 0), []POI{target, f4})
+	q := geom.Pt(0, 0)
+	r := 2.5 // disc covered only by the union (single-peer: 2.5+3 > 4)
+
+	res := RangeQuery(q, r, []PeerCache{p3, p4}, nil, Options{})
+	if res.Source != SolvedByMultiPeer || !res.Certain {
+		t.Fatalf("source=%v certain=%v", res.Source, res.Certain)
+	}
+	if len(res.POIs) != 1 || res.POIs[0].ID != 10 {
+		t.Fatalf("POIs = %v", res.POIs)
+	}
+}
+
+type fakeRangeServer struct {
+	pois  []POI
+	calls int
+}
+
+func (s *fakeRangeServer) Range(q geom.Point, r float64) []POI {
+	s.calls++
+	var out []POI
+	for _, p := range s.pois {
+		if q.Dist(p.Loc) <= r {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return q.Dist2(out[i].Loc) < q.Dist2(out[j].Loc) })
+	return out
+}
+
+func TestRangeQueryServerFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pois []POI
+	for i := 0; i < 60; i++ {
+		pois = append(pois, POI{ID: int64(i), Loc: geom.Pt(rng.Float64()*1000, rng.Float64()*1000)})
+	}
+	srv := &fakeRangeServer{pois: pois}
+	// A tiny, distant peer cache that cannot cover anything useful.
+	peer := honestCache(geom.Pt(900, 900), pois, 2)
+	q := geom.Pt(200, 200)
+	r := 300.0
+
+	res := RangeQuery(q, r, []PeerCache{peer}, srv, Options{})
+	if res.Source != SolvedByServer || !res.Certain {
+		t.Fatalf("source=%v certain=%v", res.Source, res.Certain)
+	}
+	if srv.calls != 1 {
+		t.Errorf("server called %d times", srv.calls)
+	}
+	if !sameIDs(idsOf(res.POIs), rangeOracle(q, r, pois)) {
+		t.Fatal("server fallback answer differs from oracle")
+	}
+}
+
+func TestRangeQueryNilServerBestEffort(t *testing.T) {
+	pois := []POI{{ID: 1, Loc: geom.Pt(10, 0)}, {ID: 2, Loc: geom.Pt(500, 0)}}
+	peer := honestCache(geom.Pt(50, 0), pois, 1)
+	res := RangeQuery(geom.Pt(0, 0), 100, []PeerCache{peer}, nil, Options{})
+	if res.Certain || res.Source != SolvedUncertain {
+		t.Fatalf("best effort expected, got %v certain=%v", res.Source, res.Certain)
+	}
+}
+
+// Soundness sweep: whenever the range query claims a certain answer from
+// peers, it must equal the oracle exactly.
+func TestRangeQuerySoundnessRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	certainFromPeers := 0
+	for trial := 0; trial < 400; trial++ {
+		nPOI := 10 + rng.Intn(60)
+		pois := make([]POI, nPOI)
+		for i := range pois {
+			pois[i] = POI{ID: int64(i), Loc: geom.Pt(rng.Float64()*500, rng.Float64()*500)}
+		}
+		q := geom.Pt(rng.Float64()*500, rng.Float64()*500)
+		r := rng.Float64() * 150
+		var peers []PeerCache
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			loc := geom.Pt(q.X+rng.NormFloat64()*60, q.Y+rng.NormFloat64()*60)
+			peers = append(peers, honestCache(loc, pois, 3+rng.Intn(15)))
+		}
+		res := RangeQuery(q, r, peers, nil, Options{})
+		if !res.Certain {
+			continue
+		}
+		certainFromPeers++
+		if !sameIDs(idsOf(res.POIs), rangeOracle(q, r, pois)) {
+			t.Fatalf("trial %d: certain answer differs from oracle (source %v)", trial, res.Source)
+		}
+	}
+	if certainFromPeers < 20 {
+		t.Errorf("only %d certain peer answers in 400 trials; generator too weak", certainFromPeers)
+	}
+}
+
+func TestRangeQueryZeroRadius(t *testing.T) {
+	pois := []POI{{ID: 1, Loc: geom.Pt(0, 0)}, {ID: 2, Loc: geom.Pt(5, 0)}}
+	peer := honestCache(geom.Pt(0, 0), pois, 2)
+	res := RangeQuery(geom.Pt(0, 0), 0, []PeerCache{peer}, nil, Options{})
+	if !res.Certain {
+		t.Fatal("zero-radius query at the peer's location should be certain")
+	}
+	if len(res.POIs) != 1 || res.POIs[0].ID != 1 {
+		t.Fatalf("POIs = %v", res.POIs)
+	}
+}

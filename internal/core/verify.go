@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// VerifySinglePeer runs the kNN_single verification step (§3.2.1) of one
+// peer's cached result against the query point q, adding each of the peer's
+// neighbors to the heap as certain or uncertain.
+//
+// The certainty rule is Lemma 3.2: with δ = Dist(Q, P) and n_k the peer's
+// farthest cached neighbor, a neighbor n_i is certain when
+//
+//	Dist(Q, n_i) + δ <= Dist(P, n_k)
+//
+// because the disc around Q through n_i then lies entirely inside the peer's
+// certain circle, which contains every existing POI the peer knows about.
+// Otherwise Lemma 3.1 applies: an unknown POI could hide in the uncovered
+// part of the disc, so n_i is only a candidate (uncertain).
+func VerifySinglePeer(q geom.Point, peer PeerCache, h *ResultHeap) {
+	if peer.IsEmpty() {
+		return
+	}
+	delta := q.Dist(peer.QueryLoc)
+	reach := peer.Radius()
+	for _, n := range peer.Neighbors {
+		d := q.Dist(n.Loc)
+		h.Add(Candidate{
+			POI:     n,
+			Dist:    d,
+			Certain: d+delta <= reach+geom.Eps,
+		})
+	}
+}
+
+// CertainRegion returns R_c, the union of the certain circles of all peers
+// (Lemma 3.8). The polygonization fidelity of the returned region can be
+// tuned with SetPolygonVertices; the default is geom.DefaultPolygonVertices.
+func CertainRegion(peers []PeerCache) *geom.Region {
+	r := geom.NewRegion()
+	for _, p := range peers {
+		if !p.IsEmpty() {
+			r.Add(p.CertainCircle())
+		}
+	}
+	return r
+}
+
+// VerifyMultiPeer runs the kNN_multiple verification step (§3.2.2): it
+// merges the certain circles of every peer into the certain region R_c and
+// re-examines each candidate neighbor against the whole region. A candidate
+// n_i is certain when the disc centered at Q with radius Dist(Q, n_i) is
+// fully covered by R_c (Lemma 3.8) — even when no single peer's circle
+// covers it (the Figure 7 situation).
+//
+// Candidates are drawn from the union of all peers' cached neighbors;
+// entries already certified in the heap are kept as-is.
+func VerifyMultiPeer(q geom.Point, peers []PeerCache, h *ResultHeap) {
+	region := CertainRegion(peers)
+	verifyWithRegion(q, peers, region, h, false)
+}
+
+// VerifyMultiPeerPolygonized is VerifyMultiPeer using the paper's
+// polygonization + overlay construction at the given fidelity (vertices per
+// circle) instead of the exact arc-coverage test. Its "certain" verdicts are
+// a conservative subset of VerifyMultiPeer's.
+func VerifyMultiPeerPolygonized(q geom.Point, peers []PeerCache, h *ResultHeap, vertices int) {
+	region := CertainRegion(peers)
+	if vertices > 0 {
+		region.SetPolygonVertices(vertices)
+	}
+	verifyWithRegion(q, peers, region, h, true)
+}
+
+// verifyWithRegion is the kNN_multiple candidate loop over an explicit
+// region. Candidates are processed in ascending distance so the loop can
+// stop as soon as the heap is complete: every remaining candidate is at
+// least as far as the current k-th certain neighbor and could not enter the
+// result. polygonized selects the paper-faithful polygonization coverage
+// test instead of the exact arc method (both are sound; see geom.Region).
+func verifyWithRegion(q geom.Point, peers []PeerCache, region *geom.Region, h *ResultHeap, polygonized bool) {
+	if region.IsEmpty() {
+		return
+	}
+	seen := make(map[int64]bool)
+	var cands []Candidate
+	for _, p := range peers {
+		for _, n := range p.Neighbors {
+			if seen[n.ID] {
+				continue
+			}
+			seen[n.ID] = true
+			cands = append(cands, Candidate{POI: n, Dist: q.Dist(n.Loc)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Dist < cands[j].Dist })
+	for _, c := range cands {
+		if h.Complete() {
+			return
+		}
+		circle := geom.NewCircle(q, c.Dist)
+		if polygonized {
+			c.Certain = region.CoversCirclePolygonized(circle)
+		} else {
+			c.Certain = region.CoversCircle(circle)
+		}
+		h.Add(c)
+	}
+}

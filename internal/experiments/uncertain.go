@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// UncertainQualityResult quantifies the accuracy a system trades away when
+// hosts accept full-but-uncertain heaps without contacting the server
+// (Algorithm 1 line 15 — an option the paper describes but does not
+// evaluate). Precision is the fraction of returned POIs that belong to the
+// true kNN set; RankAccuracy the fraction returned in the exactly correct
+// rank position.
+type UncertainQualityResult struct {
+	Region Region
+	Area   Area
+	// UncertainShare is the % of queries answered uncertainly.
+	UncertainShare float64
+	// ServerShare is the remaining % that still reached the server.
+	ServerShare float64
+	// Precision over all uncertain answers, in [0,1].
+	Precision float64
+	// RankAccuracy over all uncertain answers, in [0,1].
+	RankAccuracy float64
+	// Queries audited.
+	Queries int64
+}
+
+// UncertainQuality runs a simulation with AcceptUncertain enabled and audits
+// every uncertain answer against brute-force ground truth.
+func UncertainQuality(r Region, a Area, opts Options) (UncertainQualityResult, error) {
+	opts = opts.normalize()
+	cfg := ScaleHosts(ScaleDuration(BaseConfig(r, a), opts.DurationScale), opts.HostScale)
+	cfg.AcceptUncertain = true
+	cfg.Seed += opts.Seed
+	w, err := sim.New(cfg)
+	if err != nil {
+		return UncertainQualityResult{}, err
+	}
+	pois := w.Server().POIs()
+
+	var hits, rankHits, returned int64
+	w.SetAudit(func(q geom.Point, k int, answer []core.Candidate, src core.Source) {
+		if src != core.SolvedUncertain {
+			return
+		}
+		truth := kNearestIDs(q, pois, k)
+		inTruth := make(map[int64]int, len(truth))
+		for rank, id := range truth {
+			inTruth[id] = rank
+		}
+		for i, c := range answer {
+			returned++
+			if rank, ok := inTruth[c.ID]; ok {
+				hits++
+				if rank == i {
+					rankHits++
+				}
+			}
+		}
+	})
+	m := w.Run()
+	res := UncertainQualityResult{
+		Region:         r,
+		Area:           a,
+		UncertainShare: m.ShareUncertain(),
+		ServerShare:    m.SQRR(),
+		Queries:        m.TotalQueries,
+	}
+	if returned > 0 {
+		res.Precision = float64(hits) / float64(returned)
+		res.RankAccuracy = float64(rankHits) / float64(returned)
+	} else {
+		res.Precision = math.NaN()
+		res.RankAccuracy = math.NaN()
+	}
+	return res, nil
+}
+
+// kNearestIDs returns the IDs of the k nearest POIs of q in rank order.
+func kNearestIDs(q geom.Point, pois []core.POI, k int) []int64 {
+	type hit struct {
+		id int64
+		d  float64
+	}
+	hits := make([]hit, len(pois))
+	for i, p := range pois {
+		hits[i] = hit{id: p.ID, d: q.Dist2(p.Loc)}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].d < hits[j].d })
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	ids := make([]int64, len(hits))
+	for i, h := range hits {
+		ids[i] = h.id
+	}
+	return ids
+}
+
+// AuditedUncertainSims documents the knob: uncertain answers are only
+// produced when the host opts in, so the main figures are unaffected.
+var _ = core.SolvedUncertain

@@ -1,0 +1,102 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Circle is a closed disc with the given center and radius. In the SENN
+// verification algorithms a circle around a peer's cached query location with
+// radius Dist(P, n_k) bounds the peer's "certain area": every point of
+// interest inside it is known to the peer.
+type Circle struct {
+	Center Point
+	Radius float64
+}
+
+// NewCircle returns the disc with the given center and radius. A negative
+// radius is treated as zero.
+func NewCircle(c Point, r float64) Circle {
+	if r < 0 {
+		r = 0
+	}
+	return Circle{Center: c, Radius: r}
+}
+
+// Contains reports whether p lies in the closed disc.
+func (c Circle) Contains(p Point) bool {
+	return c.Center.Dist2(p) <= (c.Radius+Eps)*(c.Radius+Eps)
+}
+
+// ContainsCircle reports whether the disc d is entirely inside c.
+func (c Circle) ContainsCircle(d Circle) bool {
+	return c.Center.Dist(d.Center)+d.Radius <= c.Radius+Eps
+}
+
+// Intersects reports whether the two closed discs share at least one point.
+func (c Circle) Intersects(d Circle) bool {
+	sum := c.Radius + d.Radius
+	return c.Center.Dist2(d.Center) <= (sum+Eps)*(sum+Eps)
+}
+
+// Area returns the area of the disc.
+func (c Circle) Area() float64 { return math.Pi * c.Radius * c.Radius }
+
+// Bounds returns the MBR of the disc.
+func (c Circle) Bounds() Rect {
+	return Rect{
+		Min: Point{c.Center.X - c.Radius, c.Center.Y - c.Radius},
+		Max: Point{c.Center.X + c.Radius, c.Center.Y + c.Radius},
+	}
+}
+
+// PointAt returns the boundary point at angle theta (radians, measured
+// counter-clockwise from the positive x axis).
+func (c Circle) PointAt(theta float64) Point {
+	return Point{
+		X: c.Center.X + c.Radius*math.Cos(theta),
+		Y: c.Center.Y + c.Radius*math.Sin(theta),
+	}
+}
+
+// InscribedPolygon returns the regular n-gon inscribed in c (a subset of the
+// disc). n must be at least 3. The polygonization step of the paper's
+// kNN_multiple (§3.2.2) uses inscribed polygons for the peers' certain
+// circles so that the merged region under-approximates the true certain
+// region and verification stays sound.
+func (c Circle) InscribedPolygon(n int) ConvexPolygon {
+	if n < 3 {
+		panic(fmt.Sprintf("geom: inscribed polygon needs >= 3 vertices, got %d", n))
+	}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = c.PointAt(2 * math.Pi * float64(i) / float64(n))
+	}
+	return ConvexPolygon{vertices: pts}
+}
+
+// CircumscribedPolygon returns the regular n-gon circumscribed about c (a
+// superset of the disc), with edge midpoints touching the circle. n must be
+// at least 3. The candidate circle C_ni of Lemma 3.8 uses the circumscribed
+// polygon so that coverage of the polygon implies coverage of the disc.
+func (c Circle) CircumscribedPolygon(n int) ConvexPolygon {
+	if n < 3 {
+		panic(fmt.Sprintf("geom: circumscribed polygon needs >= 3 vertices, got %d", n))
+	}
+	// Scale the inscribed polygon's vertices so its edges become tangent.
+	r := c.Radius / math.Cos(math.Pi/float64(n))
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * (float64(i) + 0.5) / float64(n)
+		pts[i] = Point{
+			X: c.Center.X + r*math.Cos(theta),
+			Y: c.Center.Y + r*math.Sin(theta),
+		}
+	}
+	return ConvexPolygon{vertices: pts}
+}
+
+// String implements fmt.Stringer.
+func (c Circle) String() string {
+	return fmt.Sprintf("circle(%s, r=%.3f)", c.Center, c.Radius)
+}

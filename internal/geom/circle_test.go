@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCircleContains(t *testing.T) {
+	c := NewCircle(Pt(0, 0), 5)
+	for _, p := range []Point{Pt(0, 0), Pt(5, 0), Pt(3, 4), Pt(-3, -4)} {
+		if !c.Contains(p) {
+			t.Errorf("circle should contain %v", p)
+		}
+	}
+	for _, p := range []Point{Pt(5.001, 0), Pt(4, 4)} {
+		if c.Contains(p) {
+			t.Errorf("circle should not contain %v", p)
+		}
+	}
+}
+
+func TestCircleNegativeRadiusClamped(t *testing.T) {
+	c := NewCircle(Pt(1, 1), -3)
+	if c.Radius != 0 {
+		t.Errorf("negative radius should clamp to 0, got %v", c.Radius)
+	}
+	if !c.Contains(Pt(1, 1)) {
+		t.Error("zero-radius circle should contain its center")
+	}
+}
+
+func TestContainsCircle(t *testing.T) {
+	big := NewCircle(Pt(0, 0), 10)
+	tests := []struct {
+		name string
+		d    Circle
+		want bool
+	}{
+		{"same circle", big, true},
+		{"nested", NewCircle(Pt(2, 0), 3), true},
+		{"internally tangent", NewCircle(Pt(5, 0), 5), true},
+		{"sticking out", NewCircle(Pt(8, 0), 3), false},
+		{"disjoint", NewCircle(Pt(30, 0), 3), false},
+		{"point inside", NewCircle(Pt(1, 1), 0), true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := big.ContainsCircle(tc.d); got != tc.want {
+				t.Errorf("ContainsCircle = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCircleIntersects(t *testing.T) {
+	a := NewCircle(Pt(0, 0), 3)
+	cases := []struct {
+		b    Circle
+		want bool
+	}{
+		{NewCircle(Pt(5, 0), 2), true}, // externally tangent
+		{NewCircle(Pt(7, 0), 2), false},
+		{NewCircle(Pt(1, 0), 1), true}, // nested
+		{NewCircle(Pt(0, 4), 2), true},
+	}
+	for _, tc := range cases {
+		if got := a.Intersects(tc.b); got != tc.want {
+			t.Errorf("Intersects(%v) = %v, want %v", tc.b, got, tc.want)
+		}
+		if got := tc.b.Intersects(a); got != tc.want {
+			t.Errorf("Intersects asymmetric for %v", tc.b)
+		}
+	}
+}
+
+func TestCircleBounds(t *testing.T) {
+	c := NewCircle(Pt(2, -1), 3)
+	want := NewRect(Pt(-1, -4), Pt(5, 2))
+	if got := c.Bounds(); got != want {
+		t.Errorf("Bounds = %v, want %v", got, want)
+	}
+}
+
+func TestPointAt(t *testing.T) {
+	c := NewCircle(Pt(1, 1), 2)
+	if got := c.PointAt(0); !got.Eq(Pt(3, 1)) {
+		t.Errorf("PointAt(0) = %v", got)
+	}
+	if got := c.PointAt(math.Pi / 2); !got.Eq(Pt(1, 3)) {
+		t.Errorf("PointAt(pi/2) = %v", got)
+	}
+	// Every boundary point must be at distance Radius from the center.
+	for th := 0.0; th < 2*math.Pi; th += 0.1 {
+		if d := c.Center.Dist(c.PointAt(th)); math.Abs(d-c.Radius) > 1e-12 {
+			t.Fatalf("PointAt(%v) at distance %v", th, d)
+		}
+	}
+}
+
+// The inscribed polygon must be a subset of the disc and the circumscribed a
+// superset; their areas must bracket the disc area and converge to it.
+func TestPolygonizationSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		c := NewCircle(Pt(rng.Float64()*100-50, rng.Float64()*100-50), rng.Float64()*40+0.5)
+		for _, n := range []int{3, 4, 8, 16, 32, 64} {
+			in := c.InscribedPolygon(n)
+			out := c.CircumscribedPolygon(n)
+			for _, v := range in.Vertices() {
+				if d := c.Center.Dist(v); d > c.Radius+1e-9 {
+					t.Fatalf("inscribed vertex outside circle: n=%d d=%v r=%v", n, d, c.Radius)
+				}
+			}
+			// Sample disc boundary points: all must be inside the
+			// circumscribed polygon.
+			for th := 0.0; th < 2*math.Pi; th += 0.05 {
+				if !out.Contains(c.PointAt(th)) {
+					t.Fatalf("circumscribed polygon (n=%d) misses boundary point at %v", n, th)
+				}
+			}
+			if in.Area() > c.Area()+1e-6 {
+				t.Fatalf("inscribed area %v exceeds disc area %v", in.Area(), c.Area())
+			}
+			if out.Area() < c.Area()-1e-6 {
+				t.Fatalf("circumscribed area %v below disc area %v", out.Area(), c.Area())
+			}
+		}
+		// Convergence: 64-gon areas within 0.5% of the disc.
+		in, out := c.InscribedPolygon(64), c.CircumscribedPolygon(64)
+		if in.Area() < c.Area()*0.995 {
+			t.Fatalf("64-gon inscribed area too small: %v vs %v", in.Area(), c.Area())
+		}
+		if out.Area() > c.Area()*1.005 {
+			t.Fatalf("64-gon circumscribed area too large: %v vs %v", out.Area(), c.Area())
+		}
+	}
+}
+
+func TestPolygonizationPanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("InscribedPolygon(2) should panic")
+		}
+	}()
+	NewCircle(Pt(0, 0), 1).InscribedPolygon(2)
+}

@@ -1,0 +1,192 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"identical", Pt(1, 2), Pt(1, 2), 0},
+		{"unit x", Pt(0, 0), Pt(1, 0), 1},
+		{"unit y", Pt(0, 0), Pt(0, 1), 1},
+		{"345 triangle", Pt(0, 0), Pt(3, 4), 5},
+		{"negative coords", Pt(-3, -4), Pt(0, 0), 5},
+		{"large values", Pt(1e6, 0), Pt(1e6, 7), 7},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Dist(tc.q); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tc.p, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDist2MatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(clampCoord(ax), clampCoord(ay)), Pt(clampCoord(bx), clampCoord(by))
+		d := a.Dist(b)
+		return math.Abs(a.Dist2(b)-d*d) <= 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampCoord maps an arbitrary float into the coordinate range the system
+// actually uses (a 50 km square) so quick-generated extremes do not trigger
+// irrelevant overflow.
+func clampCoord(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 5e4)
+}
+
+func TestMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randPt := func() Point { return Pt(rng.Float64()*1e4-5e3, rng.Float64()*1e4-5e3) }
+	for i := 0; i < 2000; i++ {
+		a, b, c := randPt(), randPt(), randPt()
+		if d := a.Dist(b); d < 0 {
+			t.Fatalf("negative distance %v", d)
+		}
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-9 {
+			t.Fatalf("asymmetric distance for %v %v", a, b)
+		}
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a, b := Pt(1, 2), Pt(3, -4)
+	if got := a.Add(b); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := Pt(3, 4).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := a.Lerp(b, 0); !got.Eq(a) {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); !got.Eq(b) {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); !got.Eq(Pt(5, 10)) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+	if got := a.Lerp(b, 2); !got.Eq(Pt(20, 40)) {
+		t.Errorf("Lerp extrapolation = %v", got)
+	}
+}
+
+func TestSegmentClosest(t *testing.T) {
+	tests := []struct {
+		name    string
+		p, a, b Point
+		want    Point
+		wantT   float64
+	}{
+		{"projects inside", Pt(5, 5), Pt(0, 0), Pt(10, 0), Pt(5, 0), 0.5},
+		{"clamps to start", Pt(-3, 1), Pt(0, 0), Pt(10, 0), Pt(0, 0), 0},
+		{"clamps to end", Pt(42, 1), Pt(0, 0), Pt(10, 0), Pt(10, 0), 1},
+		{"degenerate segment", Pt(3, 4), Pt(1, 1), Pt(1, 1), Pt(1, 1), 0},
+		{"on segment", Pt(2, 0), Pt(0, 0), Pt(10, 0), Pt(2, 0), 0.2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, gotT := SegmentClosest(tc.p, tc.a, tc.b)
+			if !got.Eq(tc.want) || math.Abs(gotT-tc.wantT) > 1e-9 {
+				t.Errorf("SegmentClosest = %v t=%v, want %v t=%v", got, gotT, tc.want, tc.wantT)
+			}
+		})
+	}
+}
+
+func TestSegmentDistIsMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		p := Pt(rng.Float64()*100, rng.Float64()*100)
+		a := Pt(rng.Float64()*100, rng.Float64()*100)
+		b := Pt(rng.Float64()*100, rng.Float64()*100)
+		d := SegmentDist(p, a, b)
+		// No sampled point on the segment may be closer.
+		for s := 0; s <= 20; s++ {
+			q := a.Lerp(b, float64(s)/20)
+			if p.Dist(q) < d-1e-9 {
+				t.Fatalf("sampled point %v closer (%v) than SegmentDist (%v)", q, p.Dist(q), d)
+			}
+		}
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	tests := []struct {
+		name       string
+		a, b, c, d Point
+		want       bool
+	}{
+		{"plain crossing", Pt(0, 0), Pt(10, 10), Pt(0, 10), Pt(10, 0), true},
+		{"touch at endpoint", Pt(0, 0), Pt(5, 5), Pt(5, 5), Pt(9, 1), true},
+		{"parallel disjoint", Pt(0, 0), Pt(10, 0), Pt(0, 1), Pt(10, 1), false},
+		{"collinear overlapping", Pt(0, 0), Pt(10, 0), Pt(5, 0), Pt(15, 0), true},
+		{"collinear disjoint", Pt(0, 0), Pt(4, 0), Pt(5, 0), Pt(9, 0), false},
+		{"T junction", Pt(0, 0), Pt(10, 0), Pt(5, -5), Pt(5, 0), true},
+		{"near miss", Pt(0, 0), Pt(10, 0), Pt(5, 0.001), Pt(5, 5), false},
+		{"degenerate on segment", Pt(3, 0), Pt(3, 0), Pt(0, 0), Pt(10, 0), true},
+		{"degenerate off segment", Pt(3, 1), Pt(3, 1), Pt(0, 0), Pt(10, 0), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p, ok := SegmentsIntersect(tc.a, tc.b, tc.c, tc.d)
+			if ok != tc.want {
+				t.Fatalf("SegmentsIntersect = %v, want %v", ok, tc.want)
+			}
+			if ok {
+				if SegmentDist(p, tc.a, tc.b) > 1e-6 || SegmentDist(p, tc.c, tc.d) > 1e-6 {
+					t.Errorf("reported intersection %v not on both segments", p)
+				}
+			}
+		})
+	}
+}
+
+func TestSegmentsIntersectSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		a := Pt(rng.Float64()*20, rng.Float64()*20)
+		b := Pt(rng.Float64()*20, rng.Float64()*20)
+		c := Pt(rng.Float64()*20, rng.Float64()*20)
+		d := Pt(rng.Float64()*20, rng.Float64()*20)
+		_, ok1 := SegmentsIntersect(a, b, c, d)
+		_, ok2 := SegmentsIntersect(c, d, a, b)
+		if ok1 != ok2 {
+			t.Fatalf("asymmetric intersection verdict for %v %v %v %v", a, b, c, d)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func square(lo, hi float64) ConvexPolygon {
+	p, err := NewConvexPolygon([]Point{Pt(lo, lo), Pt(hi, lo), Pt(hi, hi), Pt(lo, hi)})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestNewConvexPolygonValidation(t *testing.T) {
+	if _, err := NewConvexPolygon([]Point{Pt(0, 0), Pt(1, 0)}); err == nil {
+		t.Error("two vertices should be rejected")
+	}
+	// Non-convex "arrow" shape.
+	_, err := NewConvexPolygon([]Point{Pt(0, 0), Pt(4, 0), Pt(2, 1), Pt(4, 4)})
+	if err == nil {
+		t.Error("non-convex polygon should be rejected")
+	}
+	// Clockwise input must be re-oriented to CCW.
+	p, err := NewConvexPolygon([]Point{Pt(0, 0), Pt(0, 1), Pt(1, 1), Pt(1, 0)})
+	if err != nil {
+		t.Fatalf("clockwise square rejected: %v", err)
+	}
+	if p.Area() <= 0 {
+		t.Errorf("area after reorientation should be positive, got %v", p.Area())
+	}
+}
+
+func TestPolygonAreaCentroidBounds(t *testing.T) {
+	p := square(0, 10)
+	if p.Area() != 100 {
+		t.Errorf("Area = %v", p.Area())
+	}
+	if got := p.Centroid(); !got.Eq(Pt(5, 5)) {
+		t.Errorf("Centroid = %v", got)
+	}
+	if got := p.Bounds(); got != NewRect(Pt(0, 0), Pt(10, 10)) {
+		t.Errorf("Bounds = %v", got)
+	}
+	tri, _ := NewConvexPolygon([]Point{Pt(0, 0), Pt(6, 0), Pt(0, 6)})
+	if tri.Area() != 18 {
+		t.Errorf("triangle area = %v", tri.Area())
+	}
+	if got := tri.Centroid(); !got.Eq(Pt(2, 2)) {
+		t.Errorf("triangle centroid = %v", got)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	p := square(0, 10)
+	for _, q := range []Point{Pt(5, 5), Pt(0, 0), Pt(10, 10), Pt(0, 5)} {
+		if !p.Contains(q) {
+			t.Errorf("square should contain %v", q)
+		}
+	}
+	for _, q := range []Point{Pt(-0.01, 5), Pt(5, 10.01), Pt(20, 20)} {
+		if p.Contains(q) {
+			t.Errorf("square should not contain %v", q)
+		}
+	}
+}
+
+func TestClipHalfPlane(t *testing.T) {
+	p := square(0, 10)
+	// Keep x <= 4.
+	h := HalfPlane{Normal: Pt(1, 0), Offset: 4}
+	got := p.ClipHalfPlane(h)
+	if math.Abs(got.Area()-40) > 1e-9 {
+		t.Errorf("clipped area = %v, want 40", got.Area())
+	}
+	// Half-plane that misses the polygon entirely.
+	miss := HalfPlane{Normal: Pt(1, 0), Offset: -5}
+	if !p.ClipHalfPlane(miss).IsEmpty() {
+		t.Error("clip by disjoint half-plane should be empty")
+	}
+	// Half-plane containing everything.
+	all := HalfPlane{Normal: Pt(1, 0), Offset: 100}
+	if a := p.ClipHalfPlane(all).Area(); math.Abs(a-100) > 1e-9 {
+		t.Errorf("clip by covering half-plane changed area: %v", a)
+	}
+	// Diagonal cut of the unit square through the center.
+	diag := HalfPlane{Normal: Pt(1, 1), Offset: 10}
+	if a := p.ClipHalfPlane(diag).Area(); math.Abs(a-50) > 1e-9 {
+		t.Errorf("diagonal clip area = %v, want 50", a)
+	}
+}
+
+// Clipping can never grow a polygon, and the result stays inside both the
+// original polygon and the half-plane.
+func TestClipHalfPlaneShrinksOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 400; i++ {
+		c := NewCircle(Pt(rng.Float64()*40, rng.Float64()*40), rng.Float64()*10+0.1)
+		p := c.InscribedPolygon(3 + rng.Intn(12))
+		n := Pt(rng.Float64()*2-1, rng.Float64()*2-1)
+		if n.Norm() < 1e-3 {
+			continue
+		}
+		h := HalfPlane{Normal: n, Offset: n.Dot(Pt(rng.Float64()*40, rng.Float64()*40))}
+		q := p.ClipHalfPlane(h)
+		if q.Area() > p.Area()+1e-7 {
+			t.Fatalf("clip grew area: %v -> %v", p.Area(), q.Area())
+		}
+		for _, v := range q.Vertices() {
+			if !h.Contains(v) {
+				t.Fatalf("clipped vertex %v outside half-plane", v)
+			}
+			if !p.Contains(v) {
+				t.Fatalf("clipped vertex %v outside original polygon", v)
+			}
+		}
+	}
+}
+
+func TestEdgeHalfPlaneOrientation(t *testing.T) {
+	// For a CCW square the interior must be inside every edge half-plane.
+	p := square(0, 10)
+	inner := Pt(5, 5)
+	for _, h := range p.HalfPlanes() {
+		if !h.Contains(inner) {
+			t.Fatal("interior point outside edge half-plane: wrong orientation")
+		}
+		if h.Complement().Contains(Pt(5, 5-1e-3)) && !h.Contains(Pt(5, 5-1e-3)) {
+			t.Fatal("strict interior point must not be in the complement")
+		}
+	}
+	if p.ClipHalfPlane(p.HalfPlanes()[0]).IsEmpty() {
+		t.Fatal("clip by own half-plane should keep the polygon")
+	}
+}
+
+func TestIntersectConvex(t *testing.T) {
+	a := square(0, 10)
+	b := square(5, 15)
+	got := a.IntersectConvex(b)
+	if math.Abs(got.Area()-25) > 1e-9 {
+		t.Errorf("intersection area = %v, want 25", got.Area())
+	}
+	if !a.IntersectConvex(square(20, 30)).IsEmpty() {
+		t.Error("disjoint intersection should be empty")
+	}
+	self := a.IntersectConvex(a)
+	if math.Abs(self.Area()-100) > 1e-7 {
+		t.Errorf("self intersection area = %v", self.Area())
+	}
+}
+
+func TestSubtractConvexAreas(t *testing.T) {
+	a := square(0, 10)
+	tests := []struct {
+		name string
+		b    ConvexPolygon
+		want float64
+	}{
+		{"disjoint", square(20, 30), 100},
+		{"self", a, 0},
+		{"covering", square(-5, 15), 0},
+		{"corner overlap", square(5, 15), 75},
+		{"hole in middle", square(4, 6), 96},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			pieces := a.SubtractConvex(tc.b, 0)
+			var total float64
+			for _, pc := range pieces {
+				total += pc.Area()
+			}
+			if math.Abs(total-tc.want) > 1e-6 {
+				t.Errorf("residual area = %v, want %v", total, tc.want)
+			}
+		})
+	}
+}
+
+// The difference decomposition must produce pieces that are disjoint from the
+// subtrahend and contained in the minuend, and whose total area equals
+// area(p) - area(p ∩ q).
+func TestSubtractConvexProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 300; i++ {
+		cp := NewCircle(Pt(rng.Float64()*20, rng.Float64()*20), rng.Float64()*8+0.5)
+		cq := NewCircle(Pt(rng.Float64()*20, rng.Float64()*20), rng.Float64()*8+0.5)
+		p := cp.InscribedPolygon(3 + rng.Intn(10))
+		q := cq.InscribedPolygon(3 + rng.Intn(10))
+		pieces := p.SubtractConvex(q, 0)
+		var total float64
+		for _, piece := range pieces {
+			total += piece.Area()
+			centroid := piece.Centroid()
+			if !p.Contains(centroid) {
+				t.Fatalf("piece centroid %v escapes minuend", centroid)
+			}
+			if q.Contains(centroid) && q.ClipHalfPlane(HalfPlane{}).IsEmpty() == false {
+				// The centroid of a piece must lie outside the open
+				// subtrahend; boundary contact is tolerated via area check
+				// below.
+				inter := piece.IntersectConvex(q)
+				if inter.Area() > 1e-6 {
+					t.Fatalf("piece overlaps subtrahend with area %v", inter.Area())
+				}
+			}
+		}
+		want := p.Area() - p.IntersectConvex(q).Area()
+		if math.Abs(total-want) > 1e-5*(1+want) {
+			t.Fatalf("residual area %v, want %v", total, want)
+		}
+	}
+}
+
+func TestCentroidInsidePolygon(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		c := NewCircle(Pt(rng.Float64()*50, rng.Float64()*50), rng.Float64()*10+0.1)
+		p := c.InscribedPolygon(3 + rng.Intn(20))
+		if !p.Contains(p.Centroid()) {
+			t.Fatalf("centroid outside convex polygon %v", p)
+		}
+	}
+}
+
+func TestVerticesReturnsCopy(t *testing.T) {
+	p := square(0, 1)
+	v := p.Vertices()
+	v[0] = Pt(99, 99)
+	if p.Vertices()[0].Eq(Pt(99, 99)) {
+		t.Error("Vertices must return a defensive copy")
+	}
+}

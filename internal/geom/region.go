@@ -1,0 +1,308 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultPolygonVertices is the number of vertices used when polygonizing
+// circles for region-coverage tests. 32 keeps the conservative approximation
+// error of the inscribed polygon below 0.5 % of the radius.
+const DefaultPolygonVertices = 32
+
+// Region is the union of a set of discs. In the multi-peer verification step
+// of the paper (kNN_multiple, §3.2.2) the certain region R_c is the union of
+// every reachable peer's certain circle; a candidate point of interest n_i is
+// a certain nearest neighbor of the query point Q exactly when the circle
+// centered at Q through n_i is fully covered by R_c (Lemma 3.8).
+type Region struct {
+	circles    []Circle
+	vertices   int      // polygonization fidelity
+	overlapBuf []Circle // scratch, reused across CoversCircle calls
+}
+
+// NewRegion returns the union of the given circles. Zero-radius circles are
+// kept (they can still cover degenerate candidates). The polygonization
+// fidelity defaults to DefaultPolygonVertices.
+func NewRegion(circles ...Circle) *Region {
+	cs := make([]Circle, len(circles))
+	copy(cs, circles)
+	return &Region{circles: cs, vertices: DefaultPolygonVertices}
+}
+
+// SetPolygonVertices overrides the number of vertices used to polygonize
+// circles during coverage tests. n must be at least 3.
+func (r *Region) SetPolygonVertices(n int) {
+	if n < 3 {
+		panic("geom: region polygonization needs >= 3 vertices")
+	}
+	r.vertices = n
+}
+
+// Add extends the region with another disc.
+func (r *Region) Add(c Circle) { r.circles = append(r.circles, c) }
+
+// Circles returns a copy of the discs whose union forms the region.
+func (r *Region) Circles() []Circle {
+	out := make([]Circle, len(r.circles))
+	copy(out, r.circles)
+	return out
+}
+
+// IsEmpty reports whether the region contains no disc with positive radius
+// and no point circle.
+func (r *Region) IsEmpty() bool { return len(r.circles) == 0 }
+
+// Contains reports whether p lies in the union.
+func (r *Region) Contains(p Point) bool {
+	for _, c := range r.circles {
+		if c.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Bounds returns the MBR of the union.
+func (r *Region) Bounds() Rect {
+	out := EmptyRect()
+	for _, c := range r.circles {
+		out = out.Union(c.Bounds())
+	}
+	return out
+}
+
+// CoversCircle reports whether the disc c is entirely contained in the
+// region, using an exact arc-arrangement argument:
+//
+//  1. the boundary circle of c must be fully covered — decided by merging,
+//     per region disc, the angular interval of c's boundary it covers; and
+//  2. no "hole" of the union may open inside c — a bounded uncovered pocket
+//     of a disc union has corners at intersection points of two disc
+//     boundaries, so every such intersection point lying strictly inside c
+//     must be strictly interior to some third disc.
+//
+// Both conditions together are necessary and sufficient; the epsilon
+// handling errs toward "not covered", keeping Lemma 3.8 verification sound.
+// CoversCirclePolygonized implements the paper's polygonization + MapOverlay
+// construction of §3.2.2 and agrees with this method up to its (also
+// conservative) approximation error; tests cross-validate the two.
+func (r *Region) CoversCircle(c Circle) bool {
+	if c.Radius <= Eps {
+		return r.Contains(c.Center)
+	}
+	// Fast path: a single region disc covers the candidate outright.
+	for _, rc := range r.circles {
+		if rc.ContainsCircle(c) {
+			return true
+		}
+	}
+	// Quick reject: coverage requires the candidate's bounding box to fit
+	// inside the region's bounding box.
+	if !r.Bounds().ContainsRect(c.Bounds()) {
+		return false
+	}
+	// Only region discs that intersect the candidate can contribute.
+	overlapping := r.overlapBuf[:0]
+	for _, rc := range r.circles {
+		if rc.Radius > Eps && rc.Intersects(c) {
+			overlapping = append(overlapping, rc)
+		}
+	}
+	r.overlapBuf = overlapping
+	if len(overlapping) == 0 {
+		return false
+	}
+
+	// Condition 1: angular coverage of c's boundary.
+	if !boundaryCovered(c, overlapping) {
+		return false
+	}
+	// Condition 2: every circle-circle intersection vertex strictly inside
+	// the candidate must be strictly interior to a third disc.
+	for i := 0; i < len(overlapping); i++ {
+		for j := i + 1; j < len(overlapping); j++ {
+			p1, p2, n := circleIntersections(overlapping[i], overlapping[j])
+			pts := [2]Point{p1, p2}
+			for _, p := range pts[:n] {
+				if c.Center.Dist(p) >= c.Radius-Eps {
+					continue // on or outside the candidate boundary
+				}
+				coveredByThird := false
+				for k := range overlapping {
+					if k == i || k == j {
+						continue
+					}
+					rc := overlapping[k]
+					if rc.Center.Dist(p) < rc.Radius-Eps {
+						coveredByThird = true
+						break
+					}
+				}
+				if !coveredByThird {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// boundaryCovered reports whether the boundary circle of c is fully covered
+// by the union of the given discs, by exact angular-interval merging.
+func boundaryCovered(c Circle, discs []Circle) bool {
+	type arc struct{ lo, hi float64 }
+	var arcs []arc
+	add := func(lo, hi float64) { arcs = append(arcs, arc{lo, hi}) }
+	for _, rc := range discs {
+		d := c.Center.Dist(rc.Center)
+		if d+c.Radius <= rc.Radius+Eps {
+			return true // this disc alone covers the whole boundary
+		}
+		if d >= rc.Radius+c.Radius || rc.Radius+d <= c.Radius {
+			continue // boundary circles don't interact
+		}
+		// Law of cosines: half-angle of the covered arc around the
+		// direction from c's center to rc's center.
+		cosPhi := (d*d + c.Radius*c.Radius - rc.Radius*rc.Radius) / (2 * d * c.Radius)
+		if cosPhi > 1 {
+			cosPhi = 1
+		} else if cosPhi < -1 {
+			cosPhi = -1
+		}
+		phi := math.Acos(cosPhi)
+		theta := math.Atan2(rc.Center.Y-c.Center.Y, rc.Center.X-c.Center.X)
+		lo, hi := theta-phi, theta+phi
+		// Normalize into [0, 2π) and split wrap-around arcs.
+		lo = math.Mod(lo+4*math.Pi, 2*math.Pi)
+		hi = math.Mod(hi+4*math.Pi, 2*math.Pi)
+		if lo <= hi {
+			add(lo, hi)
+		} else {
+			add(lo, 2*math.Pi)
+			add(0, hi)
+		}
+	}
+	if len(arcs) == 0 {
+		return false
+	}
+	sort.Slice(arcs, func(i, j int) bool { return arcs[i].lo < arcs[j].lo })
+	const angEps = 1e-12
+	if arcs[0].lo > angEps {
+		return false
+	}
+	reach := arcs[0].hi
+	for _, a := range arcs[1:] {
+		if a.lo > reach+angEps {
+			return false
+		}
+		if a.hi > reach {
+			reach = a.hi
+		}
+	}
+	return reach >= 2*math.Pi-angEps
+}
+
+// circleIntersections returns the intersection points of two circle
+// boundaries and how many exist (0, 1 or 2).
+func circleIntersections(a, b Circle) (Point, Point, int) {
+	d := a.Center.Dist(b.Center)
+	if d <= Eps || d > a.Radius+b.Radius || d < math.Abs(a.Radius-b.Radius) {
+		return Point{}, Point{}, 0
+	}
+	// Distance from a's center to the chord midpoint.
+	x := (d*d + a.Radius*a.Radius - b.Radius*b.Radius) / (2 * d)
+	h2 := a.Radius*a.Radius - x*x
+	dir := b.Center.Sub(a.Center).Scale(1 / d)
+	mid := a.Center.Add(dir.Scale(x))
+	if h2 <= Eps*Eps {
+		return mid, Point{}, 1
+	}
+	h := math.Sqrt(h2)
+	perp := Point{-dir.Y, dir.X}
+	return mid.Add(perp.Scale(h)), mid.Sub(perp.Scale(h)), 2
+}
+
+// CoversCirclePolygonized is the paper-faithful variant of CoversCircle
+// (§3.2.2, DESIGN.md substitution D1): the candidate disc is
+// over-approximated by its circumscribed polygon, each region disc is
+// under-approximated by its inscribed polygon, and coverage is decided by
+// subtracting region polygons from the candidate until either nothing
+// remains (covered) or residual area survives (not covered). The test is
+// conservative for any polygon fidelity, so every "certain" verdict remains
+// sound.
+func (r *Region) CoversCirclePolygonized(c Circle) bool {
+	if c.Radius <= Eps {
+		return r.Contains(c.Center)
+	}
+	for _, rc := range r.circles {
+		if rc.ContainsCircle(c) {
+			return true
+		}
+	}
+	if !r.Bounds().ContainsRect(c.Bounds()) {
+		return false
+	}
+	var overlapping []Circle
+	for _, rc := range r.circles {
+		if rc.Radius > Eps && rc.Intersects(c) {
+			overlapping = append(overlapping, rc)
+		}
+	}
+	if len(overlapping) == 0 {
+		return false
+	}
+
+	candidate := c.CircumscribedPolygon(r.vertices)
+	// Slivers below this area are treated as numerical noise. It scales with
+	// the candidate size so the predicate is unit-independent.
+	areaEps := math.Max(c.Area()*1e-9, 1e-12)
+
+	residual := []ConvexPolygon{candidate}
+	// Piece-count guard: the residual decomposition can in principle grow
+	// multiplicatively with many overlapping circles. Beyond the cap the
+	// test answers false, which is the conservative (sound) direction.
+	const maxPieces = 4096
+	for _, rc := range overlapping {
+		cover := rc.InscribedPolygon(r.vertices)
+		next := residual[:0:0]
+		for _, piece := range residual {
+			next = append(next, piece.SubtractConvex(cover, areaEps)...)
+		}
+		residual = next
+		if len(residual) == 0 {
+			return true
+		}
+		if len(residual) > maxPieces {
+			return false
+		}
+	}
+	var left float64
+	for _, piece := range residual {
+		left += piece.Area()
+	}
+	return left <= math.Max(c.Area()*1e-7, 1e-10)
+}
+
+// MaxCoveredRadius returns the largest radius rad such that the disc centered
+// at p with radius rad is covered by the region, computed by binary search
+// over CoversCircle. It returns 0 when even the point p is uncovered. hi
+// bounds the search from above.
+func (r *Region) MaxCoveredRadius(p Point, hi float64) float64 {
+	if !r.Contains(p) || hi <= 0 {
+		return 0
+	}
+	lo := 0.0
+	if r.CoversCircle(NewCircle(p, hi)) {
+		return hi
+	}
+	for i := 0; i < 40 && hi-lo > Eps*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if r.CoversCircle(NewCircle(p, mid)) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,194 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases of the exact arc-coverage test: tangencies, concentric discs,
+// identical discs, degenerate radii.
+func TestCoversCircleEdgeCases(t *testing.T) {
+	tests := []struct {
+		name   string
+		region []Circle
+		cand   Circle
+		want   bool
+	}{
+		{
+			"identical disc",
+			[]Circle{NewCircle(Pt(0, 0), 5)},
+			NewCircle(Pt(0, 0), 5),
+			true,
+		},
+		{
+			"concentric smaller",
+			[]Circle{NewCircle(Pt(0, 0), 5)},
+			NewCircle(Pt(0, 0), 4.999),
+			true,
+		},
+		{
+			"concentric larger",
+			[]Circle{NewCircle(Pt(0, 0), 5)},
+			NewCircle(Pt(0, 0), 5.001),
+			false,
+		},
+		{
+			"internally tangent",
+			[]Circle{NewCircle(Pt(0, 0), 10)},
+			NewCircle(Pt(5, 0), 5),
+			true,
+		},
+		{
+			"externally tangent",
+			[]Circle{NewCircle(Pt(0, 0), 5)},
+			NewCircle(Pt(10, 0), 5),
+			false,
+		},
+		{
+			"two identical discs",
+			[]Circle{NewCircle(Pt(0, 0), 5), NewCircle(Pt(0, 0), 5)},
+			NewCircle(Pt(1, 0), 3.9),
+			true,
+		},
+		{
+			"zero-radius region circle irrelevant",
+			[]Circle{NewCircle(Pt(0, 0), 5), NewCircle(Pt(100, 100), 0)},
+			NewCircle(Pt(0, 0), 4),
+			true,
+		},
+		{
+			"candidate is a point on region boundary",
+			[]Circle{NewCircle(Pt(0, 0), 5)},
+			NewCircle(Pt(5, 0), 0),
+			true,
+		},
+		{
+			"candidate point just outside",
+			[]Circle{NewCircle(Pt(0, 0), 5)},
+			NewCircle(Pt(5.001, 0), 0),
+			false,
+		},
+		{
+			"three-way overlap with central hole closed",
+			[]Circle{
+				NewCircle(Pt(0, 2), 2.5),
+				NewCircle(Pt(-2, -1.2), 2.5),
+				NewCircle(Pt(2, -1.2), 2.5),
+			},
+			NewCircle(Pt(0, 0), 1.2),
+			true,
+		},
+		{
+			"ring of discs leaves a hole",
+			[]Circle{
+				NewCircle(Pt(4, 0), 2.2),
+				NewCircle(Pt(-4, 0), 2.2),
+				NewCircle(Pt(0, 4), 2.2),
+				NewCircle(Pt(0, -4), 2.2),
+				NewCircle(Pt(2.83, 2.83), 2.2),
+				NewCircle(Pt(-2.83, 2.83), 2.2),
+				NewCircle(Pt(2.83, -2.83), 2.2),
+				NewCircle(Pt(-2.83, -2.83), 2.2),
+			},
+			// The ring covers an annulus but its center is a hole: a
+			// candidate spanning the hole must fail even though its
+			// boundary may be covered.
+			NewCircle(Pt(0, 0), 3.5),
+			false,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegion(tc.region...)
+			if got := r.CoversCircle(tc.cand); got != tc.want {
+				t.Errorf("CoversCircle = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// The hole-detection condition (circle-pair intersection vertices) is what
+// rejects the ring-with-hole case; verify the boundary coverage alone would
+// have passed it, i.e. the vertex rule is load-bearing.
+func TestRingHoleBoundaryIsCovered(t *testing.T) {
+	ring := []Circle{
+		NewCircle(Pt(4, 0), 2.2),
+		NewCircle(Pt(-4, 0), 2.2),
+		NewCircle(Pt(0, 4), 2.2),
+		NewCircle(Pt(0, -4), 2.2),
+		NewCircle(Pt(2.83, 2.83), 2.2),
+		NewCircle(Pt(-2.83, 2.83), 2.2),
+		NewCircle(Pt(2.83, -2.83), 2.2),
+		NewCircle(Pt(-2.83, -2.83), 2.2),
+	}
+	cand := NewCircle(Pt(0, 0), 3.5)
+	// Sample the candidate boundary: every point should be inside the ring
+	// union (the annulus covers radius ~1.8 to ~6).
+	r := NewRegion(ring...)
+	for th := 0.0; th < 2*math.Pi; th += 0.05 {
+		if !r.Contains(cand.PointAt(th)) {
+			t.Skip("ring too sparse to cover the boundary; geometry changed")
+		}
+	}
+	// Boundary fully covered, yet the disc must not verify (hole inside).
+	if r.CoversCircle(cand) {
+		t.Fatal("hole not detected: circle-pair vertex rule failed")
+	}
+	// The hole itself: the center is uncovered.
+	if r.Contains(Pt(0, 0)) {
+		t.Skip("center covered; geometry changed")
+	}
+}
+
+func TestCircleIntersections(t *testing.T) {
+	a := NewCircle(Pt(0, 0), 5)
+	// Two proper intersections.
+	p1, p2, n := circleIntersections(a, NewCircle(Pt(6, 0), 5))
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+	for _, p := range []Point{p1, p2} {
+		if math.Abs(p.Dist(Pt(0, 0))-5) > 1e-9 || math.Abs(p.Dist(Pt(6, 0))-5) > 1e-9 {
+			t.Errorf("intersection %v not on both circles", p)
+		}
+	}
+	// Externally tangent: one point.
+	_, _, n = circleIntersections(a, NewCircle(Pt(10, 0), 5))
+	if n != 1 {
+		t.Errorf("tangent n = %d, want 1", n)
+	}
+	// Disjoint.
+	if _, _, n = circleIntersections(a, NewCircle(Pt(20, 0), 5)); n != 0 {
+		t.Errorf("disjoint n = %d", n)
+	}
+	// Nested.
+	if _, _, n = circleIntersections(a, NewCircle(Pt(1, 0), 1)); n != 0 {
+		t.Errorf("nested n = %d", n)
+	}
+	// Concentric identical: treated as no crossing (d <= Eps).
+	if _, _, n = circleIntersections(a, a); n != 0 {
+		t.Errorf("identical n = %d", n)
+	}
+}
+
+func TestBoundaryCoveredDirect(t *testing.T) {
+	c := NewCircle(Pt(0, 0), 3)
+	// One disc covering everything.
+	if !boundaryCovered(c, []Circle{NewCircle(Pt(0, 0), 4)}) {
+		t.Error("full cover not detected")
+	}
+	// Two half-covers meeting with overlap.
+	left := NewCircle(Pt(-2.2, 0), 3.8)
+	right := NewCircle(Pt(2.2, 0), 3.8)
+	if !boundaryCovered(c, []Circle{left, right}) {
+		t.Error("two-arc cover not detected")
+	}
+	// A single off-center disc cannot cover the whole boundary.
+	if boundaryCovered(c, []Circle{left}) {
+		t.Error("half cover accepted as full")
+	}
+	// No interacting discs at all.
+	if boundaryCovered(c, []Circle{NewCircle(Pt(100, 0), 1)}) {
+		t.Error("disjoint disc accepted")
+	}
+}

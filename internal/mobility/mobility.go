@@ -1,0 +1,289 @@
+// Package mobility implements the two movement generators of the paper's
+// simulator (§4.1): the free movement mode — the random waypoint model of
+// Broch et al. with a fixed velocity and random pauses — and the road
+// network mode, where hosts travel along a spatialnet graph at the speed
+// limit of the segment they are on (capped by the host's own target
+// velocity).
+//
+// Models are deterministic given their random source, which the simulator
+// exploits for reproducible experiments.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/spatialnet"
+)
+
+// Model advances a mobile host's position through simulated time.
+type Model interface {
+	// Pos returns the current position.
+	Pos() geom.Point
+	// Advance moves the host by dt seconds and returns the new position.
+	Advance(dt float64) geom.Point
+}
+
+// Stationary is the trivial model for the non-moving share of hosts (the
+// paper's M_Percentage parameter leaves 20 % of hosts parked).
+type Stationary struct{ P geom.Point }
+
+// Pos returns the fixed position.
+func (s Stationary) Pos() geom.Point { return s.P }
+
+// Advance returns the fixed position regardless of dt.
+func (s Stationary) Advance(float64) geom.Point { return s.P }
+
+// RandomWaypoint implements the free movement mode: the host picks a random
+// destination in the area, travels there in a straight line at a fixed
+// speed, pauses for a uniform random interval up to MaxPause, and repeats.
+// An optional trip radius bounds destination choice, mirroring the road
+// mode's bounded trips so the two modes stay comparable (DESIGN.md D6).
+type RandomWaypoint struct {
+	bounds     geom.Rect
+	speed      float64 // m/s
+	maxPause   float64 // seconds
+	tripRadius float64 // 0 = anywhere in bounds
+	rng        *rand.Rand
+
+	pos   geom.Point
+	dest  geom.Point
+	pause float64 // remaining pause time
+}
+
+// NewRandomWaypoint creates a free-movement host starting at start. speed
+// must be positive; maxPause may be zero for continuous movement.
+func NewRandomWaypoint(bounds geom.Rect, start geom.Point, speed, maxPause float64, rng *rand.Rand) *RandomWaypoint {
+	return NewRandomWaypointWith(bounds, start, speed, maxPause, rng, 0)
+}
+
+// NewRandomWaypointWith is NewRandomWaypoint with a trip radius bound
+// (0 = unbounded).
+func NewRandomWaypointWith(bounds geom.Rect, start geom.Point, speed, maxPause float64, rng *rand.Rand, tripRadius float64) *RandomWaypoint {
+	if speed <= 0 {
+		panic("mobility: speed must be positive")
+	}
+	m := &RandomWaypoint{
+		bounds:     bounds,
+		speed:      speed,
+		maxPause:   maxPause,
+		tripRadius: tripRadius,
+		rng:        rng,
+		pos:        start,
+	}
+	m.dest = m.randomPoint()
+	return m
+}
+
+func (m *RandomWaypoint) randomPoint() geom.Point {
+	if m.tripRadius > 0 {
+		for attempt := 0; attempt < 16; attempt++ {
+			angle := m.rng.Float64() * 2 * math.Pi
+			r := m.tripRadius * math.Sqrt(m.rng.Float64())
+			p := m.pos.Add(geom.Pt(r*math.Cos(angle), r*math.Sin(angle)))
+			if m.bounds.Contains(p) {
+				return p
+			}
+		}
+		// Corner-trapped: fall through to an unbounded pick.
+	}
+	return geom.Pt(
+		m.bounds.Min.X+m.rng.Float64()*m.bounds.Width(),
+		m.bounds.Min.Y+m.rng.Float64()*m.bounds.Height(),
+	)
+}
+
+// Pos returns the current position.
+func (m *RandomWaypoint) Pos() geom.Point { return m.pos }
+
+// Advance implements Model.
+func (m *RandomWaypoint) Advance(dt float64) geom.Point {
+	for dt > 0 {
+		if m.pause > 0 {
+			if m.pause >= dt {
+				m.pause -= dt
+				return m.pos
+			}
+			dt -= m.pause
+			m.pause = 0
+		}
+		remaining := m.pos.Dist(m.dest)
+		step := m.speed * dt
+		if step < remaining {
+			m.pos = m.pos.Lerp(m.dest, step/remaining)
+			return m.pos
+		}
+		// Arrive, pause, and pick the next destination.
+		m.pos = m.dest
+		dt -= remaining / m.speed
+		if m.maxPause > 0 {
+			m.pause = m.rng.Float64() * m.maxPause
+		}
+		m.dest = m.randomPoint()
+	}
+	return m.pos
+}
+
+// RoadNetwork implements the road network mode: the host picks a random
+// destination node, follows the shortest path to it, and travels each
+// segment at min(target velocity, segment speed limit) — hosts monitor the
+// speed limit of the road they are on and adjust (§4.1.2).
+type RoadNetwork struct {
+	graph    *spatialnet.Graph
+	finder   *spatialnet.PathFinder
+	target   float64 // host target velocity, m/s
+	maxPause float64
+	// tripRadius, when positive, bounds how far away destinations are
+	// picked; large simulations use it to keep route planning local.
+	tripRadius float64
+	rng        *rand.Rand
+
+	pos   geom.Point
+	at    spatialnet.NodeID // node most recently departed from or arrived at
+	path  []spatialnet.NodeID
+	seg   int     // index into path: traveling path[seg] -> path[seg+1]
+	along float64 // meters progressed on the current segment
+	pause float64
+	// Current segment properties, cached when the segment is entered.
+	segLen, segSpeed float64
+}
+
+// RoadNetworkOptions configures NewRoadNetwork beyond the required
+// parameters.
+type RoadNetworkOptions struct {
+	// Finder is a shared route planner; nil creates a private one. Sharing
+	// one PathFinder across all (sequentially advanced) hosts avoids
+	// per-host scratch memory.
+	Finder *spatialnet.PathFinder
+	// TripRadius bounds destination choice to nodes near the host's current
+	// position (0 = anywhere in the graph).
+	TripRadius float64
+}
+
+// NewRoadNetwork creates a road-bound host starting at the given node.
+// target is the host's desired velocity in m/s (the M_Velocity parameter).
+func NewRoadNetwork(g *spatialnet.Graph, start spatialnet.NodeID, target, maxPause float64, rng *rand.Rand) *RoadNetwork {
+	return NewRoadNetworkWith(g, start, target, maxPause, rng, RoadNetworkOptions{})
+}
+
+// NewRoadNetworkWith is NewRoadNetwork with explicit options.
+func NewRoadNetworkWith(g *spatialnet.Graph, start spatialnet.NodeID, target, maxPause float64, rng *rand.Rand, opts RoadNetworkOptions) *RoadNetwork {
+	if target <= 0 {
+		panic("mobility: target velocity must be positive")
+	}
+	finder := opts.Finder
+	if finder == nil {
+		finder = spatialnet.NewPathFinder(g)
+	}
+	m := &RoadNetwork{
+		graph:      g,
+		finder:     finder,
+		target:     target,
+		maxPause:   maxPause,
+		tripRadius: opts.TripRadius,
+		rng:        rng,
+		at:         start,
+		pos:        g.Loc(start),
+	}
+	m.pickDestination()
+	return m
+}
+
+// pickDestination chooses a new random reachable destination and computes
+// the path. Hosts on an isolated node stay put.
+func (m *RoadNetwork) pickDestination() {
+	m.path, m.seg, m.along = nil, 0, 0
+	for attempt := 0; attempt < 8; attempt++ {
+		var dest spatialnet.NodeID
+		if m.tripRadius > 0 {
+			// Aim at a random point within the trip radius and snap to the
+			// nearest node.
+			angle := m.rng.Float64() * 2 * math.Pi
+			r := m.tripRadius * math.Sqrt(m.rng.Float64())
+			target := m.pos.Add(geom.Pt(r*math.Cos(angle), r*math.Sin(angle)))
+			d, ok := m.graph.NearestNodeIndexed(target)
+			if !ok {
+				return
+			}
+			dest = d
+		} else {
+			dest = spatialnet.NodeID(m.rng.Intn(m.graph.NumNodes()))
+		}
+		if dest == m.at {
+			continue
+		}
+		_, path, ok := m.finder.ShortestPath(m.at, dest)
+		if ok && len(path) > 1 {
+			m.path = path
+			m.enterSegment()
+			return
+		}
+	}
+}
+
+// enterSegment caches the length and speed of the segment path[seg] ->
+// path[seg+1].
+func (m *RoadNetwork) enterSegment() {
+	from, to := m.path[m.seg], m.path[m.seg+1]
+	m.segLen = m.graph.Loc(from).Dist(m.graph.Loc(to))
+	m.segSpeed = m.target
+	m.graph.Neighbors(from, func(n spatialnet.NodeID, _ float64, c spatialnet.RoadClass) {
+		if n == to {
+			if lim := c.SpeedLimit(); lim < m.segSpeed {
+				m.segSpeed = lim
+			}
+		}
+	})
+	if m.segSpeed <= 0 {
+		m.segSpeed = m.target
+	}
+}
+
+// Pos returns the current position.
+func (m *RoadNetwork) Pos() geom.Point { return m.pos }
+
+// Advance implements Model.
+func (m *RoadNetwork) Advance(dt float64) geom.Point {
+	for dt > 0 {
+		if m.pause > 0 {
+			if m.pause >= dt {
+				m.pause -= dt
+				return m.pos
+			}
+			dt -= m.pause
+			m.pause = 0
+		}
+		if len(m.path) < 2 {
+			m.pickDestination()
+			if len(m.path) < 2 {
+				return m.pos // isolated node: nowhere to go
+			}
+		}
+		remaining := m.segLen - m.along
+		step := m.segSpeed * dt
+		from, to := m.path[m.seg], m.path[m.seg+1]
+		if step < remaining {
+			m.along += step
+			m.pos = m.graph.Loc(from).Lerp(m.graph.Loc(to), m.along/m.segLen)
+			return m.pos
+		}
+		// Finish the segment.
+		dt -= remaining / m.segSpeed
+		m.pos = m.graph.Loc(to)
+		m.at = to
+		m.along = 0
+		m.seg++
+		if m.seg >= len(m.path)-1 {
+			// Destination reached: pause, then replan.
+			m.path = nil
+			m.seg = 0
+			if m.maxPause > 0 {
+				m.pause = m.rng.Float64() * m.maxPause
+			}
+		} else {
+			m.enterSegment()
+		}
+	}
+	return m.pos
+}

@@ -1,0 +1,235 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/spatialnet"
+)
+
+func TestStationary(t *testing.T) {
+	s := Stationary{P: geom.Pt(3, 4)}
+	if !s.Pos().Eq(geom.Pt(3, 4)) {
+		t.Error("Pos wrong")
+	}
+	if !s.Advance(1000).Eq(geom.Pt(3, 4)) {
+		t.Error("stationary host moved")
+	}
+}
+
+func TestRandomWaypointStaysInBounds(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	rng := rand.New(rand.NewSource(1))
+	m := NewRandomWaypoint(bounds, geom.Pt(50, 50), 10, 5, rng)
+	for i := 0; i < 5000; i++ {
+		p := m.Advance(1)
+		if !bounds.Contains(p) {
+			t.Fatalf("step %d: position %v out of bounds", i, p)
+		}
+	}
+}
+
+func TestRandomWaypointSpeedRespected(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 1000))
+	rng := rand.New(rand.NewSource(2))
+	speed := 13.4 // 30 mph
+	m := NewRandomWaypoint(bounds, geom.Pt(500, 500), speed, 0, rng)
+	prev := m.Pos()
+	for i := 0; i < 2000; i++ {
+		dt := 0.5 + rng.Float64()
+		p := m.Advance(dt)
+		if d := prev.Dist(p); d > speed*dt+1e-9 {
+			t.Fatalf("step %d: moved %v m in %v s at speed %v", i, d, dt, speed)
+		}
+		prev = p
+	}
+}
+
+func TestRandomWaypointPauses(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10))
+	rng := rand.New(rand.NewSource(3))
+	m := NewRandomWaypoint(bounds, geom.Pt(5, 5), 100, 10, rng)
+	// With a tiny area, high speed and long pauses the host is usually
+	// paused: consecutive positions often coincide.
+	same := 0
+	prev := m.Pos()
+	for i := 0; i < 1000; i++ {
+		p := m.Advance(0.1)
+		if p.Eq(prev) {
+			same++
+		}
+		prev = p
+	}
+	if same == 0 {
+		t.Error("host never paused despite maxPause=10")
+	}
+}
+
+func TestRandomWaypointEventuallyCoversArea(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	rng := rand.New(rand.NewSource(4))
+	m := NewRandomWaypoint(bounds, geom.Pt(0, 0), 20, 0, rng)
+	visited := map[[2]int]bool{}
+	for i := 0; i < 20000; i++ {
+		p := m.Advance(1)
+		visited[[2]int{int(p.X / 25), int(p.Y / 25)}] = true
+	}
+	if len(visited) < 12 {
+		t.Errorf("visited only %d of 16 area cells", len(visited))
+	}
+}
+
+func TestRandomWaypointValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero speed should panic")
+		}
+	}()
+	NewRandomWaypoint(geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1)), geom.Pt(0, 0), 0, 0, rand.New(rand.NewSource(1)))
+}
+
+func testGrid(t *testing.T) *spatialnet.Graph {
+	t.Helper()
+	g, err := spatialnet.GenerateGrid(spatialnet.GridConfig{
+		Width: 1000, Height: 1000, Spacing: 100,
+		SecondaryEvery: 3, HighwayEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRoadNetworkStaysOnNetwork(t *testing.T) {
+	g := testGrid(t)
+	rng := rand.New(rand.NewSource(5))
+	m := NewRoadNetwork(g, 0, 22.35, 5, rng)
+	for i := 0; i < 3000; i++ {
+		p := m.Advance(1)
+		snap, ok := g.Snap(p)
+		if !ok || snap.SnapDist > 1e-6 {
+			t.Fatalf("step %d: host %v is %v m off the network", i, p, snap.SnapDist)
+		}
+	}
+}
+
+func TestRoadNetworkRespectsSpeedLimits(t *testing.T) {
+	g := testGrid(t)
+	rng := rand.New(rand.NewSource(6))
+	target := 29.0 // ~65 mph: always capped by the segment limit
+	m := NewRoadNetwork(g, 0, target, 0, rng)
+	prev := m.Pos()
+	maxLimit := spatialnet.ClassHighway.SpeedLimit()
+	for i := 0; i < 3000; i++ {
+		dt := 1.0
+		p := m.Advance(dt)
+		if d := prev.Dist(p); d > maxLimit*dt+1e-6 {
+			t.Fatalf("step %d: moved %v m/s, above highway limit %v", i, d/dt, maxLimit)
+		}
+		prev = p
+	}
+}
+
+func TestRoadNetworkSlowTargetIsCap(t *testing.T) {
+	g := testGrid(t)
+	rng := rand.New(rand.NewSource(7))
+	target := 4.5 // 10 mph, below every class limit
+	m := NewRoadNetwork(g, 0, target, 0, rng)
+	prev := m.Pos()
+	for i := 0; i < 1000; i++ {
+		p := m.Advance(2)
+		if d := prev.Dist(p); d > target*2+1e-6 {
+			t.Fatalf("step %d: moved %v m in 2 s, target %v m/s", i, d, target)
+		}
+		prev = p
+	}
+}
+
+func TestRoadNetworkTravels(t *testing.T) {
+	g := testGrid(t)
+	rng := rand.New(rand.NewSource(8))
+	m := NewRoadNetwork(g, 0, 13.4, 0, rng)
+	start := m.Pos()
+	far := 0.0
+	for i := 0; i < 2000; i++ {
+		p := m.Advance(1)
+		if d := start.Dist(p); d > far {
+			far = d
+		}
+	}
+	if far < 200 {
+		t.Errorf("host wandered only %v m in 2000 s", far)
+	}
+}
+
+func TestRoadNetworkIsolatedNode(t *testing.T) {
+	g := spatialnet.NewGraph()
+	id := g.AddNode(geom.Pt(5, 5))
+	rng := rand.New(rand.NewSource(9))
+	m := NewRoadNetwork(g, id, 10, 0, rng)
+	p := m.Advance(100)
+	if !p.Eq(geom.Pt(5, 5)) {
+		t.Errorf("isolated host moved to %v", p)
+	}
+}
+
+func TestRoadNetworkDeterminism(t *testing.T) {
+	g := testGrid(t)
+	run := func(seed int64) []geom.Point {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewRoadNetwork(g, 3, 15, 2, rng)
+		var out []geom.Point
+		for i := 0; i < 500; i++ {
+			out = append(out, m.Advance(1))
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if !a[i].Eq(b[i]) {
+			t.Fatalf("divergence at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	diverged := false
+	for i := range a {
+		if !a[i].Eq(c[i]) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("different seeds should yield different trajectories")
+	}
+}
+
+func TestRoadNetworkValidation(t *testing.T) {
+	g := testGrid(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive target should panic")
+		}
+	}()
+	NewRoadNetwork(g, 0, -1, 0, rand.New(rand.NewSource(1)))
+}
+
+// Large dt values must be consumed fully (multi-segment, multi-destination
+// progress within one Advance call).
+func TestAdvanceLargeDt(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(50, 50))
+	rng := rand.New(rand.NewSource(10))
+	m := NewRandomWaypoint(bounds, geom.Pt(0, 0), 10, 0, rng)
+	p1 := m.Advance(1e4)
+	if math.IsNaN(p1.X) || !bounds.Contains(p1) {
+		t.Errorf("large dt produced %v", p1)
+	}
+	g := testGrid(t)
+	rm := NewRoadNetwork(g, 0, 20, 1, rng)
+	p2 := rm.Advance(1e4)
+	snap, ok := g.Snap(p2)
+	if !ok || snap.SnapDist > 1e-6 {
+		t.Errorf("large dt left road host off network at %v", p2)
+	}
+}

@@ -1,0 +1,378 @@
+// Package nn implements the nearest-neighbor search algorithms the paper
+// builds on and extends:
+//
+//   - DepthFirst: the branch-and-bound kNN search of Roussopoulos, Kelley and
+//     Vincent (SIGMOD 1995), descending the R-tree depth-first ordered by
+//     MINDIST.
+//   - BestFirst / Iterator: the optimal incremental nearest-neighbor
+//     algorithm of Hjaltason and Samet (TODS 1999), called INN by the paper.
+//     It reports neighbors in ascending distance order and visits only the
+//     minimally necessary nodes.
+//   - EINN: the paper's extension of INN (§3.3) that accepts the branch
+//     expanding lower and upper bounds derived from the SENN heap H and adds
+//     the MAXDIST metric for downward pruning.
+//
+// All algorithms traverse any TreeSource — the in-memory R*-tree
+// (internal/rtree, counted by tree.AccessCount) or the disk-backed packed
+// tree (internal/pagestore, counted by its buffer pool) — so page-access
+// statistics always reflect the work each query did.
+package nn
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// Result is one nearest neighbor: the indexed rectangle's representative
+// point (its center — for the point data used throughout this system the
+// point itself), the stored value, and the Euclidean distance to the query
+// point.
+type Result struct {
+	Point geom.Point
+	Data  any
+	Dist  float64
+}
+
+// Bounds carries the branch-expanding bounds of §3.3, extracted from the
+// SENN heap H after peer verification.
+//
+// When HasLower is set, every point of interest at distance <= Lower from
+// the query point is already known (certain) at the client, so the server
+// skips leaf entries at distance <= Lower and prunes every MBR whose MAXDIST
+// is <= Lower (the MBR lies entirely inside the certain circle C_r —
+// downward pruning).
+//
+// When HasUpper is set, the client already holds k candidates within Upper,
+// so every MBR with MINDIST > Upper is discarded (upward pruning).
+type Bounds struct {
+	Lower    float64
+	HasLower bool
+	Upper    float64
+	HasUpper bool
+}
+
+// NoBounds is the neutral Bounds value: no pruning beyond plain best-first.
+var NoBounds = Bounds{}
+
+// lower returns the effective lower bound (-inf when absent).
+func (b Bounds) lower() float64 {
+	if b.HasLower {
+		return b.Lower
+	}
+	return math.Inf(-1)
+}
+
+// upper returns the effective upper bound (+inf when absent).
+func (b Bounds) upper() float64 {
+	if b.HasUpper {
+		return b.Upper
+	}
+	return math.Inf(1)
+}
+
+// ---------------------------------------------------------------------------
+// Best-first incremental search (INN) and its bounded extension (EINN).
+
+// queueItem is an entry of the best-first priority queue: either a reference
+// to a tree node awaiting expansion or an object (leaf entry) awaiting
+// reporting. Node references hold the parent and the entry index so the child
+// page is fetched — and counted as an access — only if and when the item is
+// actually popped and expanded.
+type queueItem struct {
+	dist     float64
+	isNode   bool
+	parent   TreeNode // valid when isNode && !isRoot
+	childIdx int
+	isRoot   bool
+	root     TreeNode // valid when isRoot
+	rect     geom.Rect
+	data     any
+}
+
+// fetch resolves a node item to its tree node, performing the page read.
+func (qi queueItem) fetch() TreeNode {
+	if qi.isRoot {
+		return qi.root
+	}
+	return qi.parent.Child(qi.childIdx)
+}
+
+type priorityQueue []queueItem
+
+func (pq priorityQueue) Len() int           { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool { return pq[i].dist < pq[j].dist }
+func (pq priorityQueue) Swap(i, j int)      { pq[i], pq[j] = pq[j], pq[i] }
+func (pq *priorityQueue) Push(x any)        { *pq = append(*pq, x.(queueItem)) }
+func (pq *priorityQueue) Pop() any {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	*pq = old[:n-1]
+	return it
+}
+
+// Iterator performs incremental best-first nearest-neighbor search. Next
+// returns neighbors in non-decreasing distance order until the tree is
+// exhausted or the configured upper bound cuts the search off. The iterator
+// implements both INN (zero Bounds) and EINN (client-derived Bounds).
+type Iterator struct {
+	query  geom.Point
+	bounds Bounds
+	pq     priorityQueue
+	done   bool
+}
+
+// NewIterator starts an incremental NN search from q over t, honoring b.
+func NewIterator(t *rtree.Tree, q geom.Point, b Bounds) *Iterator {
+	return NewIteratorOver(Source(t), q, b)
+}
+
+// NewIteratorOver starts an incremental NN search over any TreeSource —
+// the in-memory R*-tree or the disk-backed packed tree.
+func NewIteratorOver(src TreeSource, q geom.Point, b Bounds) *Iterator {
+	it := &Iterator{query: q, bounds: b}
+	root, ok := src.Root()
+	if ok {
+		it.pq = priorityQueue{{dist: 0, isNode: true, isRoot: true, root: root}}
+		heap.Init(&it.pq)
+	} else {
+		it.done = true
+	}
+	return it
+}
+
+// Next returns the next nearest neighbor beyond the lower bound, or ok=false
+// when the search is exhausted (no more objects, or all remaining search
+// paths exceed the upper bound).
+func (it *Iterator) Next() (Result, bool) {
+	lo, hi := it.bounds.lower(), it.bounds.upper()
+	for !it.done && it.pq.Len() > 0 {
+		item := heap.Pop(&it.pq).(queueItem)
+		if item.dist > hi {
+			// Everything still queued is at least this far: stop for good.
+			it.done = true
+			return Result{}, false
+		}
+		if !item.isNode {
+			return Result{Point: item.rect.Center(), Data: item.data, Dist: item.dist}, true
+		}
+		nd := item.fetch()
+		for i := 0; i < nd.Len(); i++ {
+			r := nd.Rect(i)
+			mind := r.MinDist(it.query)
+			if mind > hi {
+				continue // upward pruning
+			}
+			if nd.IsLeaf() {
+				if mind <= lo {
+					continue // object already certain at the client
+				}
+				heap.Push(&it.pq, queueItem{dist: mind, rect: r, data: nd.Data(i)})
+				continue
+			}
+			if it.bounds.HasLower && r.MaxDist(it.query) <= lo {
+				continue // downward pruning: MBR inside the certain circle
+			}
+			heap.Push(&it.pq, queueItem{dist: mind, isNode: true, parent: nd, childIdx: i})
+		}
+	}
+	it.done = true
+	return Result{}, false
+}
+
+// TightenUpper lowers the iterator's upper bound; subsequent Next calls prune
+// with the new value. Raising the bound is ignored: pruned state cannot be
+// recovered.
+func (it *Iterator) TightenUpper(u float64) {
+	if !it.bounds.HasUpper || u < it.bounds.Upper {
+		it.bounds.Upper = u
+		it.bounds.HasUpper = true
+	}
+}
+
+// BestFirst returns the k nearest neighbors of q in ascending distance order
+// using the optimal incremental algorithm (INN). Fewer than k results are
+// returned when the tree holds fewer objects.
+func BestFirst(t *rtree.Tree, q geom.Point, k int) []Result {
+	return EINN(t, q, k, NoBounds)
+}
+
+// BestFirstOver is BestFirst over any TreeSource.
+func BestFirstOver(src TreeSource, q geom.Point, k int) []Result {
+	return EINNOver(src, q, k, NoBounds)
+}
+
+// EINN returns the k nearest neighbors of q at distance greater than the
+// lower bound, using best-first search with the paper's pruning rules. The
+// search dynamically tightens the upper bound as results accumulate.
+func EINN(t *rtree.Tree, q geom.Point, k int, b Bounds) []Result {
+	return EINNOver(Source(t), q, k, b)
+}
+
+// EINNOver is EINN over any TreeSource.
+func EINNOver(src TreeSource, q geom.Point, k int, b Bounds) []Result {
+	if k <= 0 {
+		return nil
+	}
+	it := NewIteratorOver(src, q, b)
+	out := make([]Result, 0, k)
+	for len(out) < k {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Depth-first branch-and-bound (Roussopoulos et al. 1995).
+
+// DepthFirst returns the k nearest neighbors of q in ascending distance
+// order by depth-first branch-and-bound over the R-tree, visiting subtrees in
+// MINDIST order and pruning those that cannot beat the current k-th best.
+func DepthFirst(t *rtree.Tree, q geom.Point, k int) []Result {
+	return DepthFirstOver(Source(t), q, k)
+}
+
+// DepthFirstOver is DepthFirst over any TreeSource.
+func DepthFirstOver(src TreeSource, q geom.Point, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	root, ok := src.Root()
+	if !ok {
+		return nil
+	}
+	best := &resultHeap{k: k}
+	dfVisit(root, q, best)
+	return best.sorted()
+}
+
+func dfVisit(nd TreeNode, q geom.Point, best *resultHeap) {
+	if nd.IsLeaf() {
+		for i := 0; i < nd.Len(); i++ {
+			d := nd.Rect(i).MinDist(q)
+			if best.accepts(d) {
+				best.push(Result{Point: nd.Rect(i).Center(), Data: nd.Data(i), Dist: d})
+			}
+		}
+		return
+	}
+	// Order children by MINDIST; prune those beyond the current k-th best.
+	// For 1NN queries the classic MINMAXDIST rule applies additionally:
+	// some object is guaranteed within the smallest sibling MINMAXDIST, so
+	// branches whose MINDIST exceeds it can never contain the winner.
+	type branch struct {
+		idx  int
+		dist float64
+	}
+	branches := make([]branch, 0, nd.Len())
+	minMaxBound := math.Inf(1)
+	for i := 0; i < nd.Len(); i++ {
+		r := nd.Rect(i)
+		branches = append(branches, branch{i, r.MinDist(q)})
+		if best.k == 1 {
+			if mm := r.MinMaxDist(q); mm < minMaxBound {
+				minMaxBound = mm
+			}
+		}
+	}
+	sort.Slice(branches, func(a, b int) bool { return branches[a].dist < branches[b].dist })
+	for _, br := range branches {
+		if !best.accepts(br.dist) {
+			return // remaining branches are even farther
+		}
+		if br.dist > minMaxBound+geom.Eps {
+			return // MINMAXDIST downward pruning (1NN only)
+		}
+		dfVisit(nd.Child(br.idx), q, best)
+	}
+}
+
+// resultHeap keeps the k best results seen so far as a max-heap on distance.
+type resultHeap struct {
+	k     int
+	items []Result
+}
+
+func (h *resultHeap) accepts(d float64) bool {
+	return len(h.items) < h.k || d < h.items[0].Dist
+}
+
+func (h *resultHeap) push(r Result) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, r)
+		h.up(len(h.items) - 1)
+		return
+	}
+	if r.Dist >= h.items[0].Dist {
+		return
+	}
+	h.items[0] = r
+	h.down(0)
+}
+
+func (h *resultHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Dist >= h.items[i].Dist {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *resultHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.items[l].Dist > h.items[largest].Dist {
+			largest = l
+		}
+		if r < n && h.items[r].Dist > h.items[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+func (h *resultHeap) sorted() []Result {
+	out := append([]Result(nil), h.items...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force reference.
+
+// BruteForce scans every stored object and returns the k nearest neighbors
+// of q in ascending distance order. It exists as the correctness oracle for
+// tests and small workloads; it does not touch the page-access counter.
+func BruteForce(t *rtree.Tree, q geom.Point, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	var all []Result
+	t.All(func(r geom.Rect, data any) bool {
+		p := r.Center()
+		all = append(all, Result{Point: p, Data: data, Dist: q.Dist(p)})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].Dist < all[j].Dist })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

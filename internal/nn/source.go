@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// TreeSource abstracts the spatial index the NN algorithms traverse. The
+// in-memory R*-tree (internal/rtree) and the disk-backed packed tree
+// (internal/pagestore) both satisfy it, so INN/EINN run unchanged over
+// either — with page accesses counted by the source's own accounting
+// (node fetches for the in-memory tree, buffer-pool lookups for the disk
+// tree).
+type TreeSource interface {
+	// Root fetches the root node, counting one page access. ok is false
+	// for an empty index.
+	Root() (TreeNode, bool)
+}
+
+// TreeNode is a read-only view of one index node.
+type TreeNode interface {
+	// IsLeaf reports whether entries carry data rather than children.
+	IsLeaf() bool
+	// Len returns the entry count.
+	Len() int
+	// Rect returns the bounding rectangle of entry i.
+	Rect(i int) geom.Rect
+	// Data returns the value of leaf entry i.
+	Data(i int) any
+	// Child fetches the child node of inner entry i, counting one page
+	// access.
+	Child(i int) TreeNode
+}
+
+// memTree adapts *rtree.Tree to TreeSource.
+type memTree struct{ t *rtree.Tree }
+
+func (m memTree) Root() (TreeNode, bool) {
+	nd, ok := m.t.Root()
+	return memNode{nd}, ok
+}
+
+type memNode struct{ n rtree.Node }
+
+func (m memNode) IsLeaf() bool         { return m.n.IsLeaf() }
+func (m memNode) Len() int             { return m.n.Len() }
+func (m memNode) Rect(i int) geom.Rect { return m.n.Rect(i) }
+func (m memNode) Data(i int) any       { return m.n.Data(i) }
+func (m memNode) Child(i int) TreeNode { return memNode{m.n.Child(i)} }
+
+// Source wraps an in-memory R*-tree as a TreeSource.
+func Source(t *rtree.Tree) TreeSource { return memTree{t} }

@@ -1,0 +1,140 @@
+// Package plot renders small ASCII line charts for the command-line tools:
+// the figure runners can show the reproduced curves directly in the
+// terminal next to their numeric tables. Pure text, no dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Points []float64 // y values; x positions come from the chart's labels
+	Marker byte      // glyph used for this line, e.g. 's', 'm', '*'
+}
+
+// Chart is a fixed-size ASCII chart.
+type Chart struct {
+	Title   string
+	XLabels []string // one per x position
+	YMin    float64  // lower bound of the y axis
+	YMax    float64  // upper bound (0,0 = auto)
+	Height  int      // plot rows (default 12)
+	Series  []Series
+}
+
+// Render draws the chart. Series with fewer points than labels are drawn for
+// the points they have. Overlapping points show the marker of the last
+// series drawn.
+func (c Chart) Render() string {
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	n := len(c.XLabels)
+	if n == 0 {
+		for _, s := range c.Series {
+			if len(s.Points) > n {
+				n = len(s.Points)
+			}
+		}
+	}
+	if n == 0 {
+		return "(empty chart)\n"
+	}
+	ymin, ymax := c.YMin, c.YMax
+	if ymin == 0 && ymax == 0 {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range c.Series {
+			for _, v := range s.Points {
+				ymin = math.Min(ymin, v)
+				ymax = math.Max(ymax, v)
+			}
+		}
+		if math.IsInf(ymin, 1) {
+			ymin, ymax = 0, 1
+		}
+		if ymax == ymin {
+			ymax = ymin + 1
+		}
+		// A little headroom.
+		pad := (ymax - ymin) * 0.05
+		ymin -= pad
+		ymax += pad
+	}
+
+	// Each x position gets a fixed column width.
+	colWidth := 3
+	width := n * colWidth
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - ymin) / (ymax - ymin)
+		r := int(math.Round(frac * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+	for _, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i, v := range s.Points {
+			if i >= n || math.IsNaN(v) {
+				continue
+			}
+			grid[rowOf(v)][i*colWidth+1] = marker
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		// y-axis label on the first, middle and last rows.
+		label := "      "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%5.0f ", ymax)
+		case height / 2:
+			label = fmt.Sprintf("%5.0f ", (ymax+ymin)/2)
+		case height - 1:
+			label = fmt.Sprintf("%5.0f ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, row)
+	}
+	fmt.Fprintf(&b, "      +%s\n", strings.Repeat("-", width))
+	// X labels, truncated to the column width.
+	var xl strings.Builder
+	for _, l := range c.XLabels {
+		if len(l) > colWidth {
+			l = l[:colWidth]
+		}
+		xl.WriteString(fmt.Sprintf("%-*s", colWidth, l))
+	}
+	fmt.Fprintf(&b, "       %s\n", strings.TrimRight(xl.String(), " "))
+	// Legend.
+	if len(c.Series) > 1 {
+		var parts []string
+		for _, s := range c.Series {
+			marker := s.Marker
+			if marker == 0 {
+				marker = '*'
+			}
+			parts = append(parts, fmt.Sprintf("%c=%s", marker, s.Name))
+		}
+		fmt.Fprintf(&b, "       %s\n", strings.Join(parts, "  "))
+	}
+	return b.String()
+}

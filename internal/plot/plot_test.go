@@ -1,0 +1,109 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	c := Chart{
+		Title:   "server share",
+		XLabels: []string{"20", "60", "100", "140", "180"},
+		Series: []Series{
+			{Name: "server", Points: []float64{60, 50, 40, 30, 20}, Marker: 's'},
+			{Name: "single", Points: []float64{35, 45, 55, 65, 75}, Marker: '1'},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "server share") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "s=server") || !strings.Contains(out, "1=single") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if strings.Count(out, "s") < 5 {
+		t.Errorf("series markers missing:\n%s", out)
+	}
+	// The first series descends: its first marker must be above its last.
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, l := range lines {
+		if idx := strings.IndexByte(l, 's'); idx >= 0 && strings.Contains(l, "|") {
+			if firstRow == -1 && idx < 15 {
+				firstRow = i
+			}
+			if idx > 10 {
+				lastRow = i
+			}
+		}
+	}
+	if firstRow == -1 || lastRow == -1 || firstRow >= lastRow {
+		t.Errorf("descending series not rendered top-left to bottom-right:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := (Chart{}).Render(); !strings.Contains(out, "empty") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestRenderSinglePointAndFlatSeries(t *testing.T) {
+	c := Chart{
+		XLabels: []string{"a"},
+		Series:  []Series{{Name: "one", Points: []float64{5}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("default marker missing:\n%s", out)
+	}
+	flat := Chart{
+		XLabels: []string{"a", "b", "c"},
+		Series:  []Series{{Name: "flat", Points: []float64{7, 7, 7}}},
+	}
+	if out := flat.Render(); !strings.Contains(out, "*") {
+		t.Errorf("flat series not rendered:\n%s", out)
+	}
+}
+
+func TestRenderFixedYRange(t *testing.T) {
+	c := Chart{
+		XLabels: []string{"a", "b"},
+		YMin:    0, YMax: 100,
+		Height: 10,
+		Series: []Series{{Name: "x", Points: []float64{0, 100}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "100 |") && !strings.Contains(out, "  100 |") {
+		t.Errorf("y max label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 |") {
+		t.Errorf("y min label missing:\n%s", out)
+	}
+}
+
+func TestRenderClampsOutliers(t *testing.T) {
+	c := Chart{
+		XLabels: []string{"a", "b"},
+		YMin:    0, YMax: 10,
+		Series: []Series{{Name: "x", Points: []float64{-50, 500}}},
+	}
+	// Must not panic and must render both markers.
+	out := c.Render()
+	if strings.Count(out, "*") != 2 {
+		t.Errorf("clamped outliers not rendered:\n%s", out)
+	}
+}
+
+func TestRenderNaNSkipped(t *testing.T) {
+	nan := 0.0
+	nan = nan / nan
+	c := Chart{
+		XLabels: []string{"a", "b", "c"},
+		Series:  []Series{{Name: "x", Points: []float64{1, nan, 3}}},
+	}
+	out := c.Render()
+	if strings.Count(out, "*") != 2 {
+		t.Errorf("NaN point should be skipped:\n%s", out)
+	}
+}

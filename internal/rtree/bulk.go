@@ -1,0 +1,128 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// BulkItem is one item for bulk loading.
+type BulkItem struct {
+	Rect geom.Rect
+	Data any
+}
+
+// BulkLoad builds a tree over the items with the Sort-Tile-Recursive (STR)
+// packing algorithm of Leutenegger, López and Edgington: items are sorted by
+// x, cut into vertical slabs of √(n/M) tiles, each slab sorted by y and cut
+// into full leaves. Packed trees have near-100 % node utilization, which
+// makes index construction for large POI sets (the simulator's server
+// start-up) far cheaper than one-by-one insertion and gives slightly better
+// query page counts. maxEntries must be at least 4.
+func BulkLoad(items []BulkItem, maxEntries int) *Tree {
+	t := New(maxEntries)
+	if len(items) == 0 {
+		return t
+	}
+	// Build the leaf level.
+	leaves := strPack(items, maxEntries, func(its []BulkItem) *node {
+		n := &node{leaf: true, level: 0}
+		for _, it := range its {
+			n.entries = append(n.entries, entry{rect: it.Rect, data: it.Data})
+		}
+		return n
+	})
+	t.size = len(items)
+	// Pack upper levels until a single root remains.
+	level := 1
+	nodes := leaves
+	for len(nodes) > 1 {
+		parents := strPackNodes(nodes, maxEntries, level)
+		nodes = parents
+		level++
+	}
+	t.root = nodes[0]
+	return t
+}
+
+// BulkLoadPoints is BulkLoad for point data.
+func BulkLoadPoints(pts []geom.Point, data []any, maxEntries int) *Tree {
+	items := make([]BulkItem, len(pts))
+	for i, p := range pts {
+		var d any
+		if data != nil {
+			d = data[i]
+		} else {
+			d = i
+		}
+		items[i] = BulkItem{Rect: geom.RectFromPoint(p), Data: d}
+	}
+	return BulkLoad(items, maxEntries)
+}
+
+// strPack tiles items into groups of up to M and materializes each group
+// with mk. Both the slab cut and the within-slab cut distribute items as
+// evenly as possible, so every produced node holds at least ⌊size/groups⌋
+// entries — comfortably above the tree's minimum fill for every n > M
+// (single-group inputs become the root, which is exempt).
+func strPack(items []BulkItem, M int, mk func([]BulkItem) *node) []*node {
+	its := make([]BulkItem, len(items))
+	copy(its, items)
+	sort.Slice(its, func(i, j int) bool {
+		return its[i].Rect.Center().X < its[j].Rect.Center().X
+	})
+	groups := (len(its) + M - 1) / M
+	slabCount := int(math.Ceil(math.Sqrt(float64(groups))))
+
+	var out []*node
+	for _, slab := range evenSplit(its, slabCount) {
+		sort.Slice(slab, func(i, j int) bool {
+			return slab[i].Rect.Center().Y < slab[j].Rect.Center().Y
+		})
+		slabGroups := (len(slab) + M - 1) / M
+		for _, g := range evenSplit(slab, slabGroups) {
+			out = append(out, mk(g))
+		}
+	}
+	return out
+}
+
+// evenSplit cuts items into parts contiguous slices whose sizes differ by at
+// most one.
+func evenSplit(items []BulkItem, parts int) [][]BulkItem {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > len(items) {
+		parts = len(items)
+	}
+	out := make([][]BulkItem, 0, parts)
+	base, rem := len(items)/parts, len(items)%parts
+	start := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, items[start:start+size])
+		start += size
+	}
+	return out
+}
+
+// strPackNodes groups child nodes into parent nodes with the same tiling.
+func strPackNodes(children []*node, M, level int) []*node {
+	items := make([]BulkItem, len(children))
+	for i, c := range children {
+		items[i] = BulkItem{Rect: c.bounds(), Data: c}
+	}
+	return strPack(items, M, func(its []BulkItem) *node {
+		n := &node{leaf: false, level: level}
+		for _, it := range its {
+			child := it.Data.(*node)
+			n.entries = append(n.entries, entry{rect: child.bounds(), child: child})
+		}
+		return n
+	})
+}

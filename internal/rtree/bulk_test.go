@@ -1,0 +1,132 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad(nil, 30)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("empty bulk load: len %d height %d", tr.Len(), tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkLoadInvariantsAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Sizes chosen to hit the awkward remainders: just above one node, a
+	// perfect square of nodes, one item over, etc.
+	for _, n := range []int{1, 2, 4, 5, 29, 30, 31, 60, 61, 899, 900, 901, 4000, 30*30*30 + 1} {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		}
+		tr := BulkLoadPoints(pts, nil, 30)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Everything retrievable.
+		found := map[int]bool{}
+		tr.All(func(_ geom.Rect, d any) bool { found[d.(int)] = true; return true })
+		if len(found) != n {
+			t.Fatalf("n=%d: retrieved %d", n, len(found))
+		}
+	}
+}
+
+func TestBulkLoadSearchMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 3000
+	pts := make([]geom.Point, n)
+	inc := New(30)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		inc.InsertPoint(pts[i], i)
+	}
+	bulk := BulkLoadPoints(pts, nil, 30)
+	for trial := 0; trial < 40; trial++ {
+		q := geom.NewRect(
+			geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+		)
+		a, b := map[int]bool{}, map[int]bool{}
+		inc.Search(q, func(_ geom.Rect, d any) bool { a[d.(int)] = true; return true })
+		bulk.Search(q, func(_ geom.Rect, d any) bool { b[d.(int)] = true; return true })
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(a), len(b))
+		}
+		for i := range a {
+			if !b[i] {
+				t.Fatalf("trial %d: item %d missing from bulk tree", trial, i)
+			}
+		}
+	}
+}
+
+// Packed trees should be shallower or equal in height and never taller than
+// incrementally built ones, thanks to full nodes.
+func TestBulkLoadUtilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	pts := make([]geom.Point, n)
+	inc := New(30)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*48280, rng.Float64()*48280)
+		inc.InsertPoint(pts[i], i)
+	}
+	bulk := BulkLoadPoints(pts, nil, 30)
+	if bulk.Height() > inc.Height() {
+		t.Errorf("bulk height %d exceeds incremental %d", bulk.Height(), inc.Height())
+	}
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Bulk delete and reinsert must keep working on a packed tree.
+	for i := 0; i < 500; i++ {
+		if !bulk.DeletePoint(pts[i], i) {
+			t.Fatalf("delete %d failed on packed tree", i)
+		}
+	}
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatalf("after deletes: %v", err)
+	}
+	bulk.InsertPoint(geom.Pt(1, 1), 999999)
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatalf("after insert: %v", err)
+	}
+}
+
+func TestBulkLoadWithData(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1, 1), geom.Pt(2, 2)}
+	tr := BulkLoadPoints(pts, []any{"a", "b"}, 4)
+	seen := map[string]bool{}
+	tr.All(func(_ geom.Rect, d any) bool { seen[d.(string)] = true; return true })
+	if !seen["a"] || !seen["b"] {
+		t.Errorf("data lost: %v", seen)
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	items := make([]BulkItem, n)
+	for i := range items {
+		items[i] = BulkItem{
+			Rect: geom.RectFromPoint(geom.Pt(rng.Float64()*1e5, rng.Float64()*1e5)),
+			Data: i,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(items, 30)
+	}
+}

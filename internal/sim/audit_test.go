@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// The decisive end-to-end soundness test: every single query answered during
+// a full simulation — by one peer, by several, or by the server — must be
+// the exact k nearest neighbors of the query point, byte-for-byte equal to a
+// brute-force scan.
+func TestEveryQueryAnswerIsExact(t *testing.T) {
+	for _, mode := range []Mode{ModeRoadNetwork, ModeFreeMovement} {
+		cfg := smallConfig()
+		cfg.Mode = mode
+		cfg.Duration = 300
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pois := w.Server().POIs()
+		audited, peerSolved := 0, 0
+		w.SetAudit(func(q geom.Point, k int, answer []core.Candidate, src core.Source) {
+			audited++
+			if src != core.SolvedByServer {
+				peerSolved++
+			}
+			// Brute-force ground truth.
+			type hit struct {
+				id int64
+				d  float64
+			}
+			hits := make([]hit, len(pois))
+			for i, p := range pois {
+				hits[i] = hit{id: p.ID, d: q.Dist(p.Loc)}
+			}
+			sort.Slice(hits, func(i, j int) bool { return hits[i].d < hits[j].d })
+			want := k
+			if want > len(hits) {
+				want = len(hits)
+			}
+			if len(answer) != want {
+				t.Fatalf("mode %v: query at %v k=%d returned %d results, want %d (src %v)",
+					mode, q, k, len(answer), want, src)
+			}
+			for i, a := range answer {
+				if math.Abs(a.Dist-hits[i].d) > 1e-9 {
+					t.Fatalf("mode %v: query at %v k=%d rank %d got dist %v want %v (src %v)",
+						mode, q, k, i+1, a.Dist, hits[i].d, src)
+				}
+			}
+		})
+		m := w.Run()
+		if audited == 0 {
+			t.Fatalf("mode %v: audit never invoked", mode)
+		}
+		// The audit also fires during warm-up, so it sees at least the
+		// recorded query count.
+		if int64(audited) < m.TotalQueries {
+			t.Fatalf("mode %v: audited %d < recorded %d", mode, audited, m.TotalQueries)
+		}
+		if peerSolved == 0 {
+			t.Errorf("mode %v: no peer-solved queries audited; scenario too weak", mode)
+		}
+	}
+}
+
+// Cache policy 1 with the "all certified" reading must keep caches healthy:
+// after a steady-state run at k=1 the average cache size stays well above 1.
+func TestCachesDoNotCollapseAtLowK(t *testing.T) {
+	cfg := smallConfig()
+	cfg.KMin, cfg.KMax = 1, 1
+	cfg.Duration = 600
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Run()
+	withCache, total := 0, 0.0
+	for _, h := range w.hosts {
+		if e, ok := h.cache.Entry(); ok {
+			withCache++
+			total += float64(len(e.Neighbors))
+		}
+	}
+	if withCache == 0 {
+		t.Fatal("no host holds a cache after the run")
+	}
+	avg := total / float64(withCache)
+	if avg < 2 {
+		t.Errorf("average cache size %.2f at k=1: caches collapsed", avg)
+	}
+}
+
+// The §3.3 bounds forwarded to the server must never exclude a true result:
+// implied by TestEveryQueryAnswerIsExact, but this checks the accounting
+// side — server-solved queries must actually consume bounds when peers
+// supplied data.
+func TestServerQueriesCarryBounds(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 300
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverQueries := 0
+	w.SetAudit(func(q geom.Point, k int, answer []core.Candidate, src core.Source) {
+		if src == core.SolvedByServer {
+			serverQueries++
+		}
+	})
+	m := w.Run()
+	if serverQueries == 0 || m.SolvedByServer == 0 {
+		t.Skip("no server queries in this configuration")
+	}
+	if m.ServerPageAccesses <= 0 {
+		t.Error("server queries recorded without page accesses")
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"repro/internal/geom"
+)
+
+// hostGrid is a uniform-grid spatial index over mobile host positions,
+// giving O(neighborhood) lookups of every host within the wireless
+// transmission range. Cells are sized to the transmission range so a range
+// query touches at most 9 cells.
+type hostGrid struct {
+	origin geom.Point
+	cell   float64
+	nx, ny int
+	cells  [][]int32 // host indices per cell
+	cellOf []int32   // current cell of each host
+}
+
+// newHostGrid builds an index over bounds for n hosts with the given cell
+// size (normally the transmission range; clamped to keep the table small).
+func newHostGrid(bounds geom.Rect, n int, cell float64) *hostGrid {
+	minCell := bounds.Width() / 512
+	if cell < minCell {
+		cell = minCell
+	}
+	if cell <= 0 {
+		cell = 1
+	}
+	nx := int(bounds.Width()/cell) + 1
+	ny := int(bounds.Height()/cell) + 1
+	g := &hostGrid{
+		origin: bounds.Min,
+		cell:   cell,
+		nx:     nx,
+		ny:     ny,
+		cells:  make([][]int32, nx*ny),
+		cellOf: make([]int32, n),
+	}
+	for i := range g.cellOf {
+		g.cellOf[i] = -1
+	}
+	return g
+}
+
+func (g *hostGrid) cellIndex(p geom.Point) int32 {
+	cx := int((p.X - g.origin.X) / g.cell)
+	cy := int((p.Y - g.origin.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return int32(cy*g.nx + cx)
+}
+
+// update moves host i to position p, relocating it between cells if needed.
+func (g *hostGrid) update(i int32, p geom.Point) {
+	c := g.cellIndex(p)
+	old := g.cellOf[i]
+	if old == c {
+		return
+	}
+	if old >= 0 {
+		bucket := g.cells[old]
+		for j, h := range bucket {
+			if h == i {
+				bucket[j] = bucket[len(bucket)-1]
+				g.cells[old] = bucket[:len(bucket)-1]
+				break
+			}
+		}
+	}
+	g.cells[c] = append(g.cells[c], i)
+	g.cellOf[i] = c
+}
+
+// forNeighbors invokes fn for every host index whose cell is within range r
+// of p (callers must still distance-filter; the grid over-approximates).
+func (g *hostGrid) forNeighbors(p geom.Point, r float64, fn func(i int32)) {
+	reach := int(r/g.cell) + 1
+	cx := int((p.X - g.origin.X) / g.cell)
+	cy := int((p.Y - g.origin.Y) / g.cell)
+	for dy := -reach; dy <= reach; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.ny {
+			continue
+		}
+		for dx := -reach; dx <= reach; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.nx {
+				continue
+			}
+			for _, i := range g.cells[y*g.nx+x] {
+				fn(i)
+			}
+		}
+	}
+}

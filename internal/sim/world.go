@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/spatialnet"
+	"repro/internal/wire"
+)
+
+// host is one mobile host: its movement model, its NN result cache, and its
+// last known position (mirrored here to avoid interface calls in the hot
+// peer-lookup path).
+type host struct {
+	model mobility.Model
+	cache *cache.Cache
+	pos   geom.Point
+}
+
+// World is a fully constructed simulation ready to run.
+type World struct {
+	cfg    Config
+	rng    *rand.Rand
+	server *ServerModule
+	hosts  []*host
+	grid   *hostGrid
+	roads  *spatialnet.Graph // nil in free-movement mode
+
+	now         float64
+	nextQueryAt float64
+	recording   bool
+	metrics     Metrics
+
+	peersBuf []core.PeerCache // scratch for query execution
+
+	// audit, when set, receives every query's final answer (the exact part
+	// the host would act on). Tests use it to cross-check the full pipeline
+	// against brute force.
+	audit func(q geom.Point, k int, answer []core.Candidate, src core.Source)
+
+	series       *seriesRecorder
+	seriesPoints []WindowPoint
+}
+
+// Series returns the query-resolution time series recorded during Run (nil
+// unless Config.SeriesWindow was set).
+func (w *World) Series() []WindowPoint { return w.seriesPoints }
+
+// SetAudit installs a callback receiving every executed query's answer.
+// Intended for tests; pass nil to disable.
+func (w *World) SetAudit(fn func(q geom.Point, k int, answer []core.Candidate, src core.Source)) {
+	w.audit = fn
+}
+
+// PeerCachesSnapshot returns a copy of every host's current cache entry.
+// Tests use it to validate that the sharing infrastructure only ever holds
+// sound (exact-prefix) caches.
+func (w *World) PeerCachesSnapshot() []core.PeerCache {
+	var out []core.PeerCache
+	for _, h := range w.hosts {
+		if e, ok := h.cache.Entry(); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// New builds a world from cfg: the road network (road mode), the POI set,
+// the server module, and the host population with its movement models.
+func New(cfg Config) (*World, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{cfg: cfg, rng: rng}
+
+	if cfg.Mode == ModeRoadNetwork {
+		g, err := spatialnet.GenerateGrid(spatialnet.GridConfig{
+			Width:          cfg.AreaWidth,
+			Height:         cfg.AreaHeight,
+			Spacing:        cfg.RoadSpacing,
+			SecondaryEvery: 5,
+			HighwayEvery:   20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.BuildNodeIndex()
+		w.roads = g
+	}
+
+	pois := RandomPOIs(cfg.NumPOIs, cfg.Bounds(), rng)
+	w.server = NewServerModule(pois, cfg.RTreeFanout)
+
+	w.grid = newHostGrid(cfg.Bounds(), cfg.NumHosts, cfg.TxRange)
+	w.hosts = make([]*host, cfg.NumHosts)
+	var finder *spatialnet.PathFinder
+	if w.roads != nil {
+		finder = spatialnet.NewPathFinder(w.roads)
+	}
+	for i := range w.hosts {
+		start := geom.Pt(
+			rng.Float64()*cfg.AreaWidth,
+			rng.Float64()*cfg.AreaHeight,
+		)
+		moving := rng.Float64() < cfg.MovePercentage
+		var model mobility.Model
+		switch {
+		case !moving:
+			if w.roads != nil {
+				// Parked hosts in road mode still sit on the network.
+				node, _ := w.roads.NearestNodeIndexed(start)
+				model = mobility.Stationary{P: w.roads.Loc(node)}
+			} else {
+				model = mobility.Stationary{P: start}
+			}
+		case cfg.Mode == ModeFreeMovement:
+			model = mobility.NewRandomWaypointWith(cfg.Bounds(), start, cfg.Velocity, cfg.MaxPause,
+				rand.New(rand.NewSource(rng.Int63())), cfg.TripRadius)
+		default:
+			node, _ := w.roads.NearestNodeIndexed(start)
+			model = mobility.NewRoadNetworkWith(w.roads, node, cfg.Velocity, cfg.MaxPause,
+				rand.New(rand.NewSource(rng.Int63())),
+				mobility.RoadNetworkOptions{Finder: finder, TripRadius: cfg.TripRadius})
+		}
+		h := &host{model: model, cache: cache.New(cfg.CacheSize), pos: model.Pos()}
+		w.hosts[i] = h
+		w.grid.update(int32(i), h.pos)
+	}
+	if cfg.SeriesWindow > 0 {
+		w.series = newSeriesRecorder(cfg.SeriesWindow)
+	}
+	w.scheduleNextQuery()
+	return w, nil
+}
+
+// Config returns the validated configuration in effect.
+func (w *World) Config() Config { return w.cfg }
+
+// Server exposes the server module (for benchmark harnesses).
+func (w *World) Server() *ServerModule { return w.server }
+
+// Roads returns the generated road network, nil in free-movement mode.
+func (w *World) Roads() *spatialnet.Graph { return w.roads }
+
+// scheduleNextQuery advances the query-event clock by one exponential
+// inter-arrival gap of the λ_Query Poisson process. The gap is added to the
+// previous event time (not the current step time), which is what makes the
+// arrivals a proper Poisson stream.
+func (w *World) scheduleNextQuery() {
+	mean := 60.0 / w.cfg.QueriesPerMinute // seconds between queries
+	w.nextQueryAt += w.rng.ExpFloat64() * mean
+}
+
+// Run advances the simulation to the configured duration and returns the
+// steady-state metrics. It can be called once per World.
+func (w *World) Run() Metrics {
+	warmupEnd := w.cfg.Duration * w.cfg.WarmupFraction
+	dt := w.cfg.StepSeconds
+	for w.now < w.cfg.Duration {
+		stepEnd := w.now + dt
+		if stepEnd > w.cfg.Duration {
+			stepEnd = w.cfg.Duration
+		}
+		// Fire every query event that falls inside this step.
+		for w.nextQueryAt <= stepEnd {
+			if !w.recording && w.nextQueryAt >= warmupEnd {
+				w.recording = true
+				w.server.ResetStats()
+			}
+			w.executeQuery()
+			w.scheduleNextQuery()
+		}
+		// Advance movement.
+		step := stepEnd - w.now
+		for i, h := range w.hosts {
+			h.pos = h.model.Advance(step)
+			w.grid.update(int32(i), h.pos)
+		}
+		w.now = stepEnd
+	}
+	w.metrics.MeasuredSeconds = w.cfg.Duration - warmupEnd
+	w.metrics.ServerPageAccesses = w.server.PageAccesses()
+	if w.series != nil {
+		w.seriesPoints = w.series.finish()
+	}
+	return w.metrics
+}
+
+// executeQuery picks a random host and runs one complete SENN query
+// (Algorithm 1) with the simulator's cache policies.
+func (w *World) executeQuery() {
+	h := w.hosts[w.rng.Intn(len(w.hosts))]
+	k := w.cfg.KMin + w.rng.Intn(w.cfg.KMax-w.cfg.KMin+1)
+	q := h.pos
+
+	// Gather shareable cached results: the host's own cache first (the
+	// local-cache check of §4.1), then every peer within transmission
+	// range. The P2P exchange is one broadcast request plus one cache-share
+	// response per peer holding data; its wire cost (internal/wire codec
+	// sizes) is the communication overhead metric.
+	peers := w.peersBuf[:0]
+	if e, ok := h.cache.Entry(); ok {
+		peers = append(peers, e)
+	}
+	msgs, wireBytes := int64(1), int64(wire.CacheRequestSize)
+	tx2 := w.cfg.TxRange * w.cfg.TxRange
+	w.grid.forNeighbors(q, w.cfg.TxRange, func(i int32) {
+		other := w.hosts[i]
+		if other == h {
+			return
+		}
+		if q.Dist2(other.pos) > tx2 {
+			return
+		}
+		if e, ok := other.cache.Entry(); ok {
+			peers = append(peers, e)
+			msgs++
+			wireBytes += int64(wire.CacheShareSize(len(e.Neighbors)))
+		}
+	})
+	w.peersBuf = peers[:0]
+	if w.recording {
+		w.metrics.PeerMessages += msgs
+		w.metrics.PeerBytes += wireBytes
+	}
+
+	// Algorithm 1 over the gathered peer data. The heap is sized at
+	// max(k, C_Size) rather than k: the query itself needs k certain
+	// objects, but cache policy 1 stores *all* the certain nearest
+	// neighbors of the most recent query — the full certified set is still
+	// an exact distance prefix (every POI closer than a certified one is
+	// itself certified), so it is a valid PeerCache and keeps the shared
+	// caches from degrading to the last query's k.
+	heapK := k
+	if c := h.cache.Capacity(); c > heapK {
+		heapK = c
+	}
+	heap := core.NewResultHeap(heapK)
+	answered := func() bool { return heap.NumCertain() >= k }
+
+	sorted := core.SortPeersByProximity(q, peers)
+	solvedSingle := false
+	for _, p := range sorted {
+		core.VerifySinglePeer(q, p, heap)
+		if answered() {
+			solvedSingle = true
+			break
+		}
+	}
+	if !solvedSingle && len(sorted) > 0 {
+		core.VerifyMultiPeer(q, sorted, heap)
+	}
+	if answered() {
+		src := core.SolvedByMultiPeer
+		if solvedSingle {
+			src = core.SolvedBySinglePeer
+		}
+		w.record(src)
+		certain := heap.CertainEntries()
+		w.storeResult(h, q, certain)
+		if w.audit != nil {
+			w.audit(q, k, certain[:k], src)
+		}
+		return
+	}
+	if w.cfg.AcceptUncertain && heap.Len() >= k {
+		w.record(core.SolvedUncertain)
+		// Uncertain results are not exact prefixes: only the certain prefix
+		// may enter the cache.
+		w.storeResult(h, q, heap.CertainEntries())
+		if w.audit != nil {
+			entries := heap.Entries()
+			if len(entries) > k {
+				entries = entries[:k]
+			}
+			w.audit(q, k, entries, core.SolvedUncertain)
+		}
+		return
+	}
+
+	// Server fallback with the §3.3 pruning bounds. Per cache policy 2 the
+	// host tops the request up to its cache capacity. The upper bound — the
+	// k-th smallest distance in H — stays in force: it guarantees the top-k
+	// answer is complete, while letting the EINN search truncate the
+	// opportunistic cache refill early; the refill then holds every POI out
+	// to the bound, which is still an exact prefix and therefore a valid
+	// PeerCache.
+	bounds := heap.Bounds()
+	bounds.HasUpper = false
+	if ub, ok := heap.UpperBoundFor(k); ok {
+		bounds.Upper = ub
+		bounds.HasUpper = true
+	}
+	certain := heap.CertainEntries()
+	fetchCount := heapK - len(certain)
+	fetched := w.server.KNN(q, fetchCount, bounds)
+	w.record(core.SolvedByServer)
+
+	full := make([]core.Candidate, 0, len(certain)+len(fetched))
+	full = append(full, certain...)
+	for _, p := range fetched {
+		full = append(full, core.Candidate{POI: p, Dist: q.Dist(p.Loc), Certain: true})
+	}
+	w.storeResult(h, q, full)
+	if w.audit != nil {
+		n := k
+		if n > len(full) {
+			n = len(full)
+		}
+		w.audit(q, k, full[:n], core.SolvedByServer)
+	}
+}
+
+// record tallies one query outcome when past warm-up; the time series (when
+// enabled) observes every outcome including the warm-up transient.
+func (w *World) record(src core.Source) {
+	if w.series != nil {
+		var s querySource
+		switch src {
+		case core.SolvedBySinglePeer:
+			s = srcSingle
+		case core.SolvedByMultiPeer:
+			s = srcMulti
+		case core.SolvedUncertain:
+			s = srcUncertain
+		default:
+			s = srcServer
+		}
+		w.series.observe(w.nextQueryAt, s)
+	}
+	if !w.recording {
+		return
+	}
+	w.metrics.TotalQueries++
+	switch src {
+	case core.SolvedBySinglePeer:
+		w.metrics.SolvedBySingle++
+	case core.SolvedByMultiPeer:
+		w.metrics.SolvedByMulti++
+	case core.SolvedUncertain:
+		w.metrics.SolvedUncertain++
+	case core.SolvedByServer:
+		w.metrics.SolvedByServer++
+	}
+}
+
+// storeResult applies cache policy 1: keep the query location and the
+// certain NNs of the most recent query.
+func (w *World) storeResult(h *host, q geom.Point, certain []core.Candidate) {
+	if len(certain) == 0 {
+		return // keep the previous entry rather than caching nothing
+	}
+	pois := make([]core.POI, len(certain))
+	for i, c := range certain {
+		pois[i] = c.POI
+	}
+	h.cache.Store(q, pois)
+}

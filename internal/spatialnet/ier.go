@@ -1,0 +1,145 @@
+package spatialnet
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// NetworkResult is one network-distance nearest neighbor: the POI, its
+// Euclidean distance to the query point, and its network distance.
+type NetworkResult struct {
+	core.POI
+	ED float64
+	ND float64
+}
+
+// NetworkDistFunc maps a POI location to its network distance from the
+// (implicit) query point. ok is false when the location is unreachable.
+type NetworkDistFunc func(p geom.Point) (float64, bool)
+
+// NDFrom returns a NetworkDistFunc measuring network distance from q over g.
+func NDFrom(g *Graph, q geom.Point) NetworkDistFunc {
+	return func(p geom.Point) (float64, bool) { return g.NetworkDistance(q, p) }
+}
+
+// IER computes the k network-distance nearest neighbors of q with the
+// Incremental Euclidean Restriction algorithm of Papadias et al. (§3.4,
+// Figure 8): Euclidean NNs are drawn in ascending order from next; each
+// candidate's network distance is evaluated; the search stops once the next
+// Euclidean NN lies beyond the current k-th network distance (the Euclidean
+// lower-bound property guarantees no better candidate remains). Unreachable
+// candidates are skipped.
+func IER(q geom.Point, k int, next func() (core.POI, bool), nd NetworkDistFunc) []NetworkResult {
+	if k <= 0 {
+		return nil
+	}
+	var results []NetworkResult // sorted ascending by ND
+	bound := math.Inf(1)
+	for {
+		poi, ok := next()
+		if !ok {
+			break
+		}
+		ed := q.Dist(poi.Loc)
+		if len(results) >= k && ed > bound {
+			break
+		}
+		d, reachable := nd(poi.Loc)
+		if !reachable {
+			continue
+		}
+		results = insertByND(results, NetworkResult{POI: poi, ED: ed, ND: d}, k)
+		if len(results) >= k {
+			bound = results[len(results)-1].ND
+		}
+	}
+	return results
+}
+
+// insertByND inserts r into the ND-ascending slice, trimming to k entries.
+func insertByND(rs []NetworkResult, r NetworkResult, k int) []NetworkResult {
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].ND > r.ND })
+	rs = append(rs, NetworkResult{})
+	copy(rs[i+1:], rs[i:])
+	rs[i] = r
+	if len(rs) > k {
+		rs = rs[:k]
+	}
+	return rs
+}
+
+// FetchFunc returns the n Euclidean nearest neighbors of the (implicit)
+// query point in ascending distance order — fewer when the data set is
+// exhausted. SNNN drives it with growing n, exactly as Algorithm 2 invokes
+// SENN(Q, k+i).
+type FetchFunc func(n int) []core.POI
+
+// SNNN executes Algorithm 2, the Sharing-based Network distance Nearest
+// Neighbor query: obtain k Euclidean NNs via the sharing infrastructure,
+// compute their network distances over the host's local modeling graph, and
+// keep swapping in subsequent Euclidean NNs until the next one's Euclidean
+// distance exceeds the k-th network distance (the search upper bound
+// S_bound). Unreachable POIs are skipped.
+func SNNN(q geom.Point, k int, fetch FetchFunc, nd NetworkDistFunc) []NetworkResult {
+	if k <= 0 {
+		return nil
+	}
+	initial := fetch(k)
+	var results []NetworkResult
+	for _, poi := range initial {
+		d, reachable := nd(poi.Loc)
+		if !reachable {
+			continue
+		}
+		results = insertByND(results, NetworkResult{POI: poi, ED: q.Dist(poi.Loc), ND: d}, k)
+	}
+	seen := len(initial)
+	if seen < k {
+		// Fewer POIs exist than requested: nothing more to fetch.
+		return results
+	}
+	sBound := math.Inf(1)
+	if len(results) >= k {
+		sBound = results[len(results)-1].ND
+	}
+	for i := 1; ; i++ {
+		batch := fetch(k + i)
+		if len(batch) < k+i {
+			break // data set exhausted
+		}
+		next := batch[len(batch)-1]
+		ed := q.Dist(next.Loc)
+		if ed > sBound {
+			break // Euclidean lower bound: no remaining POI can improve
+		}
+		d, reachable := nd(next.Loc)
+		if reachable && (len(results) < k || d < results[len(results)-1].ND) {
+			results = insertByND(results, NetworkResult{POI: next, ED: ed, ND: d}, k)
+			if len(results) >= k {
+				sBound = results[len(results)-1].ND
+			}
+		}
+	}
+	return results
+}
+
+// BruteForceNetworkKNN computes the exact k network-distance nearest
+// neighbors by evaluating every POI — the correctness oracle for IER/SNNN.
+func BruteForceNetworkKNN(q geom.Point, k int, pois []core.POI, nd NetworkDistFunc) []NetworkResult {
+	var all []NetworkResult
+	for _, p := range pois {
+		d, ok := nd(p.Loc)
+		if !ok {
+			continue
+		}
+		all = append(all, NetworkResult{POI: p, ED: q.Dist(p.Loc), ND: d})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ND < all[j].ND })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

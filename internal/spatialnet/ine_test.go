@@ -1,0 +1,180 @@
+package spatialnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func TestPOIIndexBasics(t *testing.T) {
+	g := lineGraph(5) // nodes at x = 0..4
+	pois := []core.POI{
+		{ID: 1, Loc: geom.Pt(0.5, 0)},
+		{ID: 2, Loc: geom.Pt(0.2, 1)}, // off-network, snaps with offset 1
+		{ID: 3, Loc: geom.Pt(3.7, 0)},
+	}
+	idx := NewPOIIndex(g, pois)
+	if idx.Len() != 3 {
+		t.Fatalf("indexed %d POIs", idx.Len())
+	}
+	// Edge (0,1) holds POIs 1 and 2, ordered by t.
+	ps := idx.edgePOIs(0, 1)
+	if len(ps) != 2 {
+		t.Fatalf("edge (0,1) has %d POIs", len(ps))
+	}
+	if ps[0].poi.ID != 2 || ps[1].poi.ID != 1 {
+		t.Errorf("edge POIs out of order: %v %v", ps[0].poi.ID, ps[1].poi.ID)
+	}
+	// Reversed direction flips the parameters.
+	rev := idx.edgePOIs(1, 0)
+	if rev[0].poi.ID != 1 || math.Abs(rev[0].t-0.5) > 1e-9 {
+		t.Errorf("reversed edge POIs wrong: %+v", rev[0])
+	}
+	if math.Abs(ps[0].off-1) > 1e-9 {
+		t.Errorf("snap offset = %v, want 1", ps[0].off)
+	}
+	empty := NewPOIIndex(NewGraph(), pois)
+	if empty.Len() != 0 {
+		t.Error("POIs snapped onto an empty graph")
+	}
+}
+
+func TestINEMatchesBruteForce(t *testing.T) {
+	g, pois := testGridWithPOIs(t, 21, 80)
+	idx := NewPOIIndex(g, pois)
+	rng := newTestRand(22)
+	b := g.Bounds()
+	for trial := 0; trial < 25; trial++ {
+		q := geom.Pt(rng.Float64()*b.Width(), rng.Float64()*b.Height())
+		k := 1 + rng.Intn(6)
+		nd := NDFrom(g, q)
+		got := INE(g, idx, q, k)
+		want := BruteForceNetworkKNN(q, k, pois, nd)
+		sameNetworkResults(t, "INE", got, want)
+	}
+}
+
+func TestINEAgreesWithIER(t *testing.T) {
+	g, pois := testGridWithPOIs(t, 31, 60)
+	idx := NewPOIIndex(g, pois)
+	rng := newTestRand(32)
+	b := g.Bounds()
+	for trial := 0; trial < 20; trial++ {
+		q := geom.Pt(rng.Float64()*b.Width(), rng.Float64()*b.Height())
+		k := 1 + rng.Intn(5)
+		nd := NDFrom(g, q)
+		ine := INE(g, idx, q, k)
+		ier := IER(q, k, incrementalSource(q, pois), nd)
+		sameNetworkResults(t, "INE vs IER", ine, ier)
+	}
+}
+
+func TestINEEdgeCases(t *testing.T) {
+	g, pois := testGridWithPOIs(t, 41, 10)
+	idx := NewPOIIndex(g, pois)
+	q := geom.Pt(1000, 1000)
+	if got := INE(g, idx, q, 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	if got := INE(g, idx, q, 50); len(got) != 10 {
+		t.Errorf("k beyond POI count returned %d, want all 10", len(got))
+	}
+	if got := INE(NewGraph(), idx, q, 3); got != nil {
+		t.Errorf("empty graph returned %v", got)
+	}
+}
+
+// Off-network POIs must carry their snap offsets exactly like
+// NetworkDistance does, keeping INE and the brute-force oracle consistent.
+func TestINEOffNetworkPOIs(t *testing.T) {
+	g := lineGraph(11) // 0..10 on the x axis
+	pois := []core.POI{
+		{ID: 1, Loc: geom.Pt(3, 2)}, // snap offset 2 at x=3
+		{ID: 2, Loc: geom.Pt(7, 1)}, // snap offset 1 at x=7
+		{ID: 3, Loc: geom.Pt(9, 0)}, // on network
+	}
+	idx := NewPOIIndex(g, pois)
+	q := geom.Pt(5, 0)
+	got := INE(g, idx, q, 3)
+	// Expected NDs: POI1: |5-3| + 2 = 4; POI2: |7-5| + 1 = 3; POI3: 4.
+	if len(got) != 3 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if got[0].ID != 2 || math.Abs(got[0].ND-3) > 1e-9 {
+		t.Errorf("first = %+v, want POI 2 at ND 3", got[0])
+	}
+	for _, r := range got[1:] {
+		if math.Abs(r.ND-4) > 1e-9 {
+			t.Errorf("ND = %v, want 4", r.ND)
+		}
+	}
+}
+
+// The wavefront must terminate early: on a large grid with near POIs, INE
+// should settle far fewer nodes than the graph holds. We proxy this through
+// latency-free structural assertions: correctness is checked elsewhere, here
+// we bound the work via a huge graph and a tight cluster of POIs.
+func TestINETerminatesEarly(t *testing.T) {
+	g, err := GenerateGrid(GridConfig{Width: 10000, Height: 10000, Spacing: 200,
+		SecondaryEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Pt(5000, 5000)
+	pois := []core.POI{
+		{ID: 1, Loc: geom.Pt(5100, 5000)},
+		{ID: 2, Loc: geom.Pt(5000, 5200)},
+		{ID: 3, Loc: geom.Pt(4800, 4900)},
+	}
+	idx := NewPOIIndex(g, pois)
+	got := INE(g, idx, q, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+	nd := NDFrom(g, q)
+	want := BruteForceNetworkKNN(q, 2, pois, nd)
+	sameNetworkResults(t, "early-term INE", got, want)
+}
+
+func BenchmarkINE(b *testing.B) {
+	g, err := GenerateGrid(GridConfig{Width: 10000, Height: 10000, Spacing: 250,
+		SecondaryEvery: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := newTestRand(5)
+	locs := RandomOnNetworkPOIs(g, 400, rng)
+	pois := make([]core.POI, len(locs))
+	for i, l := range locs {
+		pois[i] = core.POI{ID: int64(i), Loc: l}
+	}
+	idx := NewPOIIndex(g, pois)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		INE(g, idx, q, 5)
+	}
+}
+
+func BenchmarkIER(b *testing.B) {
+	g, err := GenerateGrid(GridConfig{Width: 10000, Height: 10000, Spacing: 250,
+		SecondaryEvery: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := newTestRand(5)
+	locs := RandomOnNetworkPOIs(g, 400, rng)
+	pois := make([]core.POI, len(locs))
+	for i, l := range locs {
+		pois[i] = core.POI{ID: int64(i), Loc: l}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		IER(q, 5, incrementalSource(q, pois), NDFrom(g, q))
+	}
+}

@@ -1,0 +1,81 @@
+package spatialnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// ParseSegments reads road segments in the text format cmd/roadgen emits —
+// one segment per line, "x1 y1 x2 y2 class" with meters for coordinates and
+// highway/secondary/rural for the class. Blank lines and lines starting with
+// '#' are ignored. It is the ingestion path for externally prepared street
+// vector data (e.g. pre-processed TIGER/LINE extracts).
+func ParseSegments(r io.Reader) ([]Segment, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var segs []Segment
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("spatialnet: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		var coords [4]float64
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("spatialnet: line %d: bad coordinate %q: %w", lineNo, fields[i], err)
+			}
+			coords[i] = v
+		}
+		class, err := ParseRoadClass(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("spatialnet: line %d: %w", lineNo, err)
+		}
+		segs = append(segs, Segment{
+			A:     geom.Pt(coords[0], coords[1]),
+			B:     geom.Pt(coords[2], coords[3]),
+			Class: class,
+		})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("spatialnet: reading segments: %w", err)
+	}
+	return segs, nil
+}
+
+// ParseRoadClass parses the textual road class names used by the segment
+// format (the String values of RoadClass).
+func ParseRoadClass(s string) (RoadClass, error) {
+	switch strings.ToLower(s) {
+	case "highway":
+		return ClassHighway, nil
+	case "secondary":
+		return ClassSecondary, nil
+	case "rural":
+		return ClassRural, nil
+	}
+	return 0, fmt.Errorf("unknown road class %q", s)
+}
+
+// WriteSegments emits segments in the same format ParseSegments reads.
+func WriteSegments(w io.Writer, segs []Segment) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range segs {
+		if _, err := fmt.Fprintf(bw, "%.3f %.3f %.3f %.3f %s\n",
+			s.A.X, s.A.Y, s.B.X, s.B.Y, s.Class); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,187 @@
+package spatialnet
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// PathFinder runs repeated point-to-point Dijkstra searches over one graph
+// without per-query allocations, using epoch-stamped scratch arrays. It is
+// the route planner the mobility simulator shares across all mobile hosts.
+// A PathFinder is not safe for concurrent use.
+type PathFinder struct {
+	g     *Graph
+	dist  []float64
+	prev  []NodeID
+	stamp []uint32
+	epoch uint32
+	pq    distQueue
+}
+
+// NewPathFinder returns a PathFinder over g. The graph must not gain nodes
+// afterwards.
+func NewPathFinder(g *Graph) *PathFinder {
+	n := g.NumNodes()
+	return &PathFinder{
+		g:     g,
+		dist:  make([]float64, n),
+		prev:  make([]NodeID, n),
+		stamp: make([]uint32, n),
+	}
+}
+
+func (pf *PathFinder) reset() {
+	pf.epoch++
+	if pf.epoch == 0 { // wrapped: clear stamps once per 4G queries
+		for i := range pf.stamp {
+			pf.stamp[i] = 0
+		}
+		pf.epoch = 1
+	}
+	pf.pq = pf.pq[:0]
+}
+
+func (pf *PathFinder) see(id NodeID) {
+	if pf.stamp[id] != pf.epoch {
+		pf.stamp[id] = pf.epoch
+		pf.dist[id] = math.Inf(1)
+		pf.prev[id] = -1
+	}
+}
+
+// ShortestPath is equivalent to Graph.ShortestPath but reuses internal
+// buffers. The returned path slice is owned by the caller.
+func (pf *PathFinder) ShortestPath(from, to NodeID) (float64, []NodeID, bool) {
+	if from == to {
+		return 0, []NodeID{from}, true
+	}
+	pf.reset()
+	pf.see(from)
+	pf.dist[from] = 0
+	heap.Push(&pf.pq, nodeDist{id: from, dist: 0})
+	for pf.pq.Len() > 0 {
+		cur := heap.Pop(&pf.pq).(nodeDist)
+		if cur.dist > pf.dist[cur.id] {
+			continue
+		}
+		if cur.id == to {
+			break
+		}
+		for _, he := range pf.g.adj[cur.id] {
+			pf.see(he.to)
+			if nd := cur.dist + he.length; nd < pf.dist[he.to] {
+				pf.dist[he.to] = nd
+				pf.prev[he.to] = cur.id
+				heap.Push(&pf.pq, nodeDist{id: he.to, dist: nd})
+			}
+		}
+	}
+	if pf.stamp[to] != pf.epoch || math.IsInf(pf.dist[to], 1) {
+		return math.Inf(1), nil, false
+	}
+	var path []NodeID
+	for at := to; at != -1; at = pf.prev[at] {
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return pf.dist[to], path, true
+}
+
+// nodeGrid is a uniform-grid index over node locations for O(1) nearest-node
+// lookups.
+type nodeGrid struct {
+	origin geom.Point
+	cell   float64
+	nx, ny int
+	cells  [][]NodeID
+}
+
+// BuildNodeIndex constructs the spatial index used by NearestNodeIndexed.
+// Call it once after the graph is fully built.
+func (g *Graph) BuildNodeIndex() {
+	if len(g.locs) == 0 {
+		return
+	}
+	b := g.Bounds()
+	// Aim for a handful of nodes per cell.
+	area := math.Max(b.Area(), 1)
+	cell := math.Max(math.Sqrt(area/float64(len(g.locs)))*2, 1e-6)
+	nx := int(b.Width()/cell) + 1
+	ny := int(b.Height()/cell) + 1
+	idx := &nodeGrid{origin: b.Min, cell: cell, nx: nx, ny: ny, cells: make([][]NodeID, nx*ny)}
+	for i, loc := range g.locs {
+		c := idx.cellOf(loc)
+		idx.cells[c] = append(idx.cells[c], NodeID(i))
+	}
+	g.nodeIdx = idx
+}
+
+func (ng *nodeGrid) cellOf(p geom.Point) int {
+	cx := int((p.X - ng.origin.X) / ng.cell)
+	cy := int((p.Y - ng.origin.Y) / ng.cell)
+	cx = clampInt(cx, 0, ng.nx-1)
+	cy = clampInt(cy, 0, ng.ny-1)
+	return cy*ng.nx + cx
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// NearestNodeIndexed returns the node closest to p using the grid index
+// built by BuildNodeIndex, expanding rings of cells until a hit is certain.
+// It falls back to the linear NearestNode when no index exists.
+func (g *Graph) NearestNodeIndexed(p geom.Point) (NodeID, bool) {
+	ng := g.nodeIdx
+	if ng == nil {
+		return g.NearestNode(p)
+	}
+	cx := clampInt(int((p.X-ng.origin.X)/ng.cell), 0, ng.nx-1)
+	cy := clampInt(int((p.Y-ng.origin.Y)/ng.cell), 0, ng.ny-1)
+	best, bestD := NodeID(-1), math.Inf(1)
+	maxRing := ng.nx
+	if ng.ny > maxRing {
+		maxRing = ng.ny
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a candidate is known, stop after the first ring that cannot
+		// contain anything closer.
+		if best >= 0 && float64(ring-1)*ng.cell > math.Sqrt(bestD) {
+			break
+		}
+		for dy := -ring; dy <= ring; dy++ {
+			for dx := -ring; dx <= ring; dx++ {
+				if absInt(dx) != ring && absInt(dy) != ring {
+					continue // interior cells were scanned in earlier rings
+				}
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= ng.nx || y < 0 || y >= ng.ny {
+					continue
+				}
+				for _, id := range ng.cells[y*ng.nx+x] {
+					if d := p.Dist2(g.locs[id]); d < bestD {
+						best, bestD = id, d
+					}
+				}
+			}
+		}
+	}
+	return best, best >= 0
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

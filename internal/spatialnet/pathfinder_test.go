@@ -1,0 +1,104 @@
+package spatialnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPathFinderMatchesGraphShortestPath(t *testing.T) {
+	g, err := GenerateGrid(GridConfig{Width: 1000, Height: 1000, Spacing: 100,
+		SecondaryEvery: 3, HighwayEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := NewPathFinder(g)
+	rng := newTestRand(12)
+	for trial := 0; trial < 200; trial++ {
+		from := NodeID(rng.Intn(g.NumNodes()))
+		to := NodeID(rng.Intn(g.NumNodes()))
+		d1, p1, ok1 := g.ShortestPath(from, to)
+		d2, p2, ok2 := pf.ShortestPath(from, to)
+		if ok1 != ok2 {
+			t.Fatalf("reachability mismatch %d->%d", from, to)
+		}
+		if !ok1 {
+			continue
+		}
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("dist mismatch %d->%d: %v vs %v", from, to, d1, d2)
+		}
+		if len(p2) == 0 || p2[0] != from || p2[len(p2)-1] != to {
+			t.Fatalf("bad path endpoints: %v", p2)
+		}
+		_ = p1
+	}
+}
+
+func TestPathFinderDisconnected(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(geom.Pt(0, 0))
+	b := g.AddNode(geom.Pt(1, 0))
+	c := g.AddNode(geom.Pt(9, 9))
+	if err := g.AddEdge(a, b, ClassRural); err != nil {
+		t.Fatal(err)
+	}
+	pf := NewPathFinder(g)
+	if _, _, ok := pf.ShortestPath(a, c); ok {
+		t.Error("unreachable target reported reachable")
+	}
+	// Reuse after a failed query must still work.
+	d, _, ok := pf.ShortestPath(a, b)
+	if !ok || d != 1 {
+		t.Errorf("reuse failed: %v %v", d, ok)
+	}
+}
+
+func TestNearestNodeIndexedMatchesLinear(t *testing.T) {
+	g, err := GenerateGrid(GridConfig{Width: 2000, Height: 1500, Spacing: 100,
+		SecondaryEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.BuildNodeIndex()
+	rng := newTestRand(21)
+	for trial := 0; trial < 500; trial++ {
+		p := geom.Pt(rng.Float64()*2600-300, rng.Float64()*2100-300)
+		want, ok1 := g.NearestNode(p)
+		got, ok2 := g.NearestNodeIndexed(p)
+		if ok1 != ok2 {
+			t.Fatal("ok mismatch")
+		}
+		// Distances must agree (IDs may differ on exact ties).
+		if math.Abs(p.Dist(g.Loc(want))-p.Dist(g.Loc(got))) > 1e-9 {
+			t.Fatalf("nearest mismatch at %v: linear %v (%v), indexed %v (%v)",
+				p, want, p.Dist(g.Loc(want)), got, p.Dist(g.Loc(got)))
+		}
+	}
+}
+
+func TestNearestNodeIndexedWithoutIndexFallsBack(t *testing.T) {
+	g := lineGraph(5)
+	id, ok := g.NearestNodeIndexed(geom.Pt(3.2, 1))
+	if !ok || id != 3 {
+		t.Errorf("fallback = %d ok=%v", id, ok)
+	}
+}
+
+func BenchmarkPathFinderShortestPath(b *testing.B) {
+	g, err := GenerateGrid(GridConfig{Width: 48280, Height: 48280, Spacing: 500,
+		SecondaryEvery: 5, HighwayEvery: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pf := NewPathFinder(g)
+	rng := newTestRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := NodeID(rng.Intn(g.NumNodes()))
+		to := NodeID(rng.Intn(g.NumNodes()))
+		pf.ShortestPath(from, to)
+	}
+}

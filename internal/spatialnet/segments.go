@@ -1,0 +1,167 @@
+package spatialnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Segment is a raw road segment as found in TIGER/LINE-style street vector
+// data: two endpoints and a road class.
+type Segment struct {
+	A, B  geom.Point
+	Class RoadClass
+}
+
+// Connects reports whether two road classes joining at a planar crossing
+// form a real intersection. Following the paper's observation (§4.1.2) that
+// differing road classes distinguish over-passes from intersections, a
+// crossing between a primary highway and a rural road is a bridge/over-pass,
+// not a junction; every other combination connects.
+func Connects(a, b RoadClass) bool {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return !(lo == ClassHighway && hi == ClassRural)
+}
+
+// FromSegments integrates raw segments into a road network graph, solving
+// the intersection-isolation problem of §4.1.2:
+//
+//   - coincident endpoints merge into a single junction node;
+//   - a proper crossing between two segments whose classes connect splits
+//     both segments at an auxiliary node;
+//   - an endpoint of one segment touching the interior of another
+//     (a T-junction) splits the host segment when the classes connect;
+//   - crossings between non-connecting classes (highway over rural) create
+//     no node: the segments pass over each other.
+//
+// Degenerate (zero-length) segments are rejected.
+func FromSegments(segs []Segment) (*Graph, error) {
+	for i, s := range segs {
+		if s.A.Dist(s.B) <= geom.Eps {
+			return nil, fmt.Errorf("spatialnet: segment %d is degenerate at %v", i, s.A)
+		}
+	}
+	// splits[i] collects the interior parameters at which segment i must be
+	// cut.
+	splits := make([][]float64, len(segs))
+	const tEps = 1e-9
+	interior := func(t float64) bool { return t > tEps && t < 1-tEps }
+
+	for i := 0; i < len(segs); i++ {
+		for j := i + 1; j < len(segs); j++ {
+			si, sj := segs[i], segs[j]
+			if !Connects(si.Class, sj.Class) {
+				continue
+			}
+			p, ok := geom.SegmentsIntersect(si.A, si.B, sj.A, sj.B)
+			if !ok {
+				continue
+			}
+			ti := paramOn(si, p)
+			tj := paramOn(sj, p)
+			if interior(ti) {
+				splits[i] = append(splits[i], ti)
+			}
+			if interior(tj) {
+				splits[j] = append(splits[j], tj)
+			}
+		}
+	}
+
+	g := NewGraph()
+	nodeAt := make(map[[2]int64]NodeID)
+	getNode := func(p geom.Point) NodeID {
+		key := quantize(p)
+		if id, ok := nodeAt[key]; ok {
+			return id
+		}
+		id := g.AddNode(p)
+		nodeAt[key] = id
+		return id
+	}
+
+	type edgeKey struct{ a, b NodeID }
+	seen := make(map[edgeKey]bool)
+	for i, s := range segs {
+		ts := append([]float64{0, 1}, splits[i]...)
+		sort.Float64s(ts)
+		prev := s.A
+		prevT := 0.0
+		for _, t := range ts[1:] {
+			if t-prevT <= tEps {
+				continue
+			}
+			cur := s.A.Lerp(s.B, t)
+			a, b := getNode(prev), getNode(cur)
+			if a != b {
+				k := edgeKey{a, b}
+				if a > b {
+					k = edgeKey{b, a}
+				}
+				if !seen[k] {
+					seen[k] = true
+					if err := g.AddEdge(a, b, s.Class); err != nil {
+						return nil, err
+					}
+				}
+			}
+			prev, prevT = cur, t
+		}
+	}
+	return g, nil
+}
+
+// paramOn returns the parameter of point p along segment s.
+func paramOn(s Segment, p geom.Point) float64 {
+	d := s.B.Sub(s.A)
+	len2 := d.Dot(d)
+	if len2 == 0 {
+		return 0
+	}
+	return p.Sub(s.A).Dot(d) / len2
+}
+
+// quantize maps a point to a grid cell of 1e-6 m so that floating-point
+// noise in shared endpoints still merges them into one node.
+func quantize(p geom.Point) [2]int64 {
+	return [2]int64{int64(math.Round(p.X * 1e6)), int64(math.Round(p.Y * 1e6))}
+}
+
+// ConnectedComponents returns the node sets of the graph's connected
+// components, largest first.
+func (g *Graph) ConnectedComponents() [][]NodeID {
+	n := len(g.locs)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]NodeID
+	for start := 0; start < n; start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		id := len(comps)
+		var members []NodeID
+		stack := []NodeID{NodeID(start)}
+		comp[start] = id
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, cur)
+			for _, he := range g.adj[cur] {
+				if comp[he.to] == -1 {
+					comp[he.to] = id
+					stack = append(stack, he.to)
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	return comps
+}

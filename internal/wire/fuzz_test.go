@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode drives the decoder with arbitrary bytes; it must never panic
+// and must round-trip every message it accepts.
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	f.Add(EncodeCacheRequest())
+	f.Add(EncodeCacheShare(samplePC(0, rng)))
+	f.Add(EncodeCacheShare(samplePC(3, rng)))
+	f.Add(EncodeCacheShare(samplePC(40, rng)))
+	f.Add([]byte("SENN"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case TypeCacheRequest:
+			// Nothing further to check.
+		case TypeCacheShare:
+			// Accepted cache-shares must re-encode to a decodable message
+			// describing the same cache.
+			re := EncodeCacheShare(msg.Cache)
+			msg2, err := Decode(re)
+			if err != nil {
+				t.Fatalf("re-encode not decodable: %v", err)
+			}
+			if len(msg2.Cache.Neighbors) != len(msg.Cache.Neighbors) {
+				t.Fatalf("re-encode changed neighbor count")
+			}
+			if msg2.Cache.Radius() != msg.Cache.Radius() {
+				t.Fatalf("re-encode changed radius")
+			}
+		default:
+			t.Fatalf("decoder accepted unknown type %d", msg.Type)
+		}
+	})
+}

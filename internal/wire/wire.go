@@ -1,0 +1,172 @@
+// Package wire provides the binary message codec for the peer-to-peer
+// channel. The paper's hosts exchange cached NN results over short-range
+// ad-hoc links (IEEE 802.11x); the codec makes that exchange concrete so the
+// simulator can account for the communication overhead the paper names as
+// the technique's main cost ("it may increase the communication overheads
+// among mobile hosts", §2).
+//
+// The format is a fixed little-endian layout with a versioned header:
+//
+//	offset  size  field
+//	0       4     magic "SENN"
+//	4       1     version (1)
+//	5       1     message type
+//	6       ...   type-specific payload
+//
+// A CacheShare payload carries the peer's cached query location and its
+// certain nearest neighbors:
+//
+//	6       8+8   query location x, y (float64)
+//	22      4     neighbor count n (uint32)
+//	26      n*24  neighbors: id (int64), x, y (float64)
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Message types.
+const (
+	// TypeCacheShare carries a PeerCache from a peer to the querying host.
+	TypeCacheShare byte = 1
+	// TypeCacheRequest asks peers in range to share their caches. Its
+	// payload is empty; the type exists so request traffic can be accounted.
+	TypeCacheRequest byte = 2
+)
+
+const (
+	version    byte = 1
+	headerSize      = 6
+	pointSize       = 16
+	poiSize         = 24
+)
+
+var magic = [4]byte{'S', 'E', 'N', 'N'}
+
+// Errors returned by Decode.
+var (
+	ErrTooShort   = errors.New("wire: message too short")
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadType    = errors.New("wire: unknown message type")
+	ErrTruncated  = errors.New("wire: truncated payload")
+	ErrBadFloat   = errors.New("wire: non-finite coordinate")
+)
+
+// CacheRequestSize is the encoded size of a cache request.
+const CacheRequestSize = headerSize
+
+// CacheShareSize returns the encoded size of a cache-share message carrying
+// n neighbors.
+func CacheShareSize(n int) int { return headerSize + pointSize + 4 + n*poiSize }
+
+// EncodeCacheRequest emits a cache request message.
+func EncodeCacheRequest() []byte {
+	buf := make([]byte, headerSize)
+	writeHeader(buf, TypeCacheRequest)
+	return buf
+}
+
+// EncodeCacheShare emits a cache-share message for pc.
+func EncodeCacheShare(pc core.PeerCache) []byte {
+	buf := make([]byte, CacheShareSize(len(pc.Neighbors)))
+	writeHeader(buf, TypeCacheShare)
+	off := headerSize
+	off = putPoint(buf, off, pc.QueryLoc)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(pc.Neighbors)))
+	off += 4
+	for _, n := range pc.Neighbors {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(n.ID))
+		off += 8
+		off = putPoint(buf, off, n.Loc)
+	}
+	return buf
+}
+
+func writeHeader(buf []byte, typ byte) {
+	copy(buf[:4], magic[:])
+	buf[4] = version
+	buf[5] = typ
+}
+
+func putPoint(buf []byte, off int, p geom.Point) int {
+	binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(p.X))
+	binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(p.Y))
+	return off + pointSize
+}
+
+func getPoint(buf []byte, off int) geom.Point {
+	return geom.Point{
+		X: math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])),
+		Y: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])),
+	}
+}
+
+// Message is a decoded wire message.
+type Message struct {
+	Type  byte
+	Cache core.PeerCache // valid when Type == TypeCacheShare
+}
+
+// Decode parses a wire message, validating structure and coordinates.
+func Decode(buf []byte) (Message, error) {
+	if len(buf) < headerSize {
+		return Message{}, ErrTooShort
+	}
+	if [4]byte(buf[:4]) != magic {
+		return Message{}, ErrBadMagic
+	}
+	if buf[4] != version {
+		return Message{}, fmt.Errorf("%w: %d", ErrBadVersion, buf[4])
+	}
+	switch buf[5] {
+	case TypeCacheRequest:
+		return Message{Type: TypeCacheRequest}, nil
+	case TypeCacheShare:
+		return decodeCacheShare(buf)
+	default:
+		return Message{}, fmt.Errorf("%w: %d", ErrBadType, buf[5])
+	}
+}
+
+func decodeCacheShare(buf []byte) (Message, error) {
+	if len(buf) < headerSize+pointSize+4 {
+		return Message{}, ErrTruncated
+	}
+	loc := getPoint(buf, headerSize)
+	if !finite(loc) {
+		return Message{}, ErrBadFloat
+	}
+	n := int(binary.LittleEndian.Uint32(buf[headerSize+pointSize:]))
+	if len(buf) != CacheShareSize(n) {
+		return Message{}, ErrTruncated
+	}
+	neighbors := make([]core.POI, n)
+	off := headerSize + pointSize + 4
+	for i := 0; i < n; i++ {
+		id := int64(binary.LittleEndian.Uint64(buf[off:]))
+		p := getPoint(buf, off+8)
+		if !finite(p) {
+			return Message{}, ErrBadFloat
+		}
+		neighbors[i] = core.POI{ID: id, Loc: p}
+		off += poiSize
+	}
+	// Re-sorting on decode keeps the PeerCache invariant even against a
+	// peer that serialized out of order.
+	return Message{
+		Type:  TypeCacheShare,
+		Cache: core.NewPeerCache(loc, neighbors),
+	}, nil
+}
+
+func finite(p geom.Point) bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}

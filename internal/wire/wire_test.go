@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func samplePC(n int, rng *rand.Rand) core.PeerCache {
+	pois := make([]core.POI, n)
+	for i := range pois {
+		pois[i] = core.POI{
+			ID:  rng.Int63(),
+			Loc: geom.Pt(rng.Float64()*1e5-5e4, rng.Float64()*1e5-5e4),
+		}
+	}
+	return core.NewPeerCache(geom.Pt(rng.Float64()*1e4, rng.Float64()*1e4), pois)
+}
+
+func TestCacheShareRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		pc := samplePC(n, rng)
+		buf := EncodeCacheShare(pc)
+		if len(buf) != CacheShareSize(n) {
+			t.Fatalf("n=%d: size %d, want %d", n, len(buf), CacheShareSize(n))
+		}
+		msg, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if msg.Type != TypeCacheShare {
+			t.Fatalf("type = %d", msg.Type)
+		}
+		if !msg.Cache.QueryLoc.Eq(pc.QueryLoc) {
+			t.Errorf("query loc %v != %v", msg.Cache.QueryLoc, pc.QueryLoc)
+		}
+		if len(msg.Cache.Neighbors) != n {
+			t.Fatalf("neighbors %d, want %d", len(msg.Cache.Neighbors), n)
+		}
+		for i := range pc.Neighbors {
+			if msg.Cache.Neighbors[i].ID != pc.Neighbors[i].ID ||
+				!msg.Cache.Neighbors[i].Loc.Eq(pc.Neighbors[i].Loc) {
+				t.Fatalf("neighbor %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestCacheRequestRoundTrip(t *testing.T) {
+	buf := EncodeCacheRequest()
+	if len(buf) != CacheRequestSize {
+		t.Fatalf("size %d", len(buf))
+	}
+	msg, err := Decode(buf)
+	if err != nil || msg.Type != TypeCacheRequest {
+		t.Fatalf("decode: %v type %d", err, msg.Type)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	valid := EncodeCacheShare(samplePC(3, rng))
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrTooShort},
+		{"short", valid[:4], ErrTooShort},
+		{"bad magic", append([]byte("XXXX"), valid[4:]...), ErrBadMagic},
+		{"bad version", func() []byte {
+			b := bytes.Clone(valid)
+			b[4] = 99
+			return b
+		}(), ErrBadVersion},
+		{"bad type", func() []byte {
+			b := bytes.Clone(valid)
+			b[5] = 77
+			return b
+		}(), ErrBadType},
+		{"truncated payload", valid[:len(valid)-5], ErrTruncated},
+		{"extended payload", append(bytes.Clone(valid), 0), ErrTruncated},
+		{"count lies", func() []byte {
+			b := bytes.Clone(valid)
+			b[22] = 200 // count field far beyond actual data
+			return b
+		}(), ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.buf)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("Decode = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsNonFinite(t *testing.T) {
+	pc := core.PeerCache{
+		QueryLoc:  geom.Pt(math.NaN(), 0),
+		Neighbors: []core.POI{{ID: 1, Loc: geom.Pt(1, 1)}},
+	}
+	if _, err := Decode(EncodeCacheShare(pc)); !errors.Is(err, ErrBadFloat) {
+		t.Errorf("NaN location accepted: %v", err)
+	}
+	pc2 := core.NewPeerCache(geom.Pt(0, 0), []core.POI{{ID: 1, Loc: geom.Pt(math.Inf(1), 0)}})
+	if _, err := Decode(EncodeCacheShare(pc2)); !errors.Is(err, ErrBadFloat) {
+		t.Errorf("Inf neighbor accepted: %v", err)
+	}
+}
+
+// Decoding must restore the PeerCache sorting invariant even if a peer sent
+// neighbors out of order (e.g. a buggy or adversarial implementation).
+func TestDecodeRestoresSortInvariant(t *testing.T) {
+	// Hand-craft an out-of-order message by encoding a cache whose struct
+	// was assembled without NewPeerCache.
+	pc := core.PeerCache{
+		QueryLoc: geom.Pt(0, 0),
+		Neighbors: []core.POI{
+			{ID: 1, Loc: geom.Pt(9, 0)},
+			{ID: 2, Loc: geom.Pt(1, 0)},
+		},
+	}
+	msg, err := Decode(EncodeCacheShare(pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Cache.Neighbors[0].ID != 2 {
+		t.Error("decoded cache not re-sorted by distance")
+	}
+	if msg.Cache.Radius() != 9 {
+		t.Errorf("radius = %v", msg.Cache.Radius())
+	}
+}
+
+// Round-trip property over arbitrary finite caches.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pc := samplePC(int(n%64), rng)
+		msg, err := Decode(EncodeCacheShare(pc))
+		if err != nil {
+			return false
+		}
+		if len(msg.Cache.Neighbors) != len(pc.Neighbors) {
+			return false
+		}
+		if msg.Cache.Radius() != pc.Radius() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Decode must never panic on arbitrary byte soup.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, rng.Intn(200))
+		rng.Read(buf)
+		if rng.Float64() < 0.5 && len(buf) >= 6 {
+			// Often plant a plausible header so the payload parser runs.
+			copy(buf[:4], "SENN")
+			buf[4] = 1
+			buf[5] = byte(1 + rng.Intn(2))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %v: %v", buf, r)
+				}
+			}()
+			Decode(buf)
+		}()
+	}
+}
+
+func BenchmarkEncodeCacheShare(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pc := samplePC(20, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeCacheShare(pc)
+	}
+}
+
+func BenchmarkDecodeCacheShare(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	buf := EncodeCacheShare(samplePC(20, rng))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
