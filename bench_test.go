@@ -12,6 +12,7 @@ package senn
 // full three-region tables recorded in EXPERIMENTS.md.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -225,4 +226,42 @@ func BenchmarkSENNQuery(b *testing.B) {
 		q := Pt(rng.Float64()*cfg.AreaWidth, rng.Float64()*cfg.AreaHeight)
 		Query(q, 3, peers, db, QueryOptions{})
 	}
+}
+
+// figureSuite runs a representative slice of the figure suite — one full
+// three-region sweep (Figure 9a–c) plus the §4.3 comparison — with the given
+// worker count. Results are bit-identical for any worker count
+// (TestParallelMatchesSequentialSweep); only wall-clock time changes.
+func figureSuite(b *testing.B, workers int) {
+	opts := benchOpts2mi
+	opts.Workers = workers
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.Regions {
+			fr, err := experiments.TransmissionRangeSweep(r, experiments.Area2mi, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 && r == experiments.LosAngeles {
+				reportShares(b, fr)
+			}
+		}
+		if _, _, err := experiments.FreeMovementComparison(
+			experiments.LosAngeles, experiments.Area2mi, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigureSuiteSequential is the one-core baseline of the sweep
+// engine: every simulation of the suite slice runs on a single worker.
+func BenchmarkFigureSuiteSequential(b *testing.B) { figureSuite(b, 1) }
+
+// BenchmarkFigureSuiteParallel fans the same independent simulations across
+// GOMAXPROCS workers. Compare against BenchmarkFigureSuiteSequential for the
+// wall-clock speedup (≈ linear up to the 10-runs-per-sweep fan-out on
+// multi-core hardware; identical on one core). EXPERIMENTS.md records the
+// measured ratios.
+func BenchmarkFigureSuiteParallel(b *testing.B) {
+	figureSuite(b, runtime.GOMAXPROCS(0))
 }

@@ -6,13 +6,14 @@
 // Usage:
 //
 //	experiments [-fig 9|10|11|12|13|14|15|16|17|free|uncertain|diskio|all]
-//	            [-scale N] [-queries N] [-area 2mi|30mi] [-chart]
+//	            [-scale N] [-queries N] [-area 2mi|30mi] [-chart] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -22,16 +23,18 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 9..17, free (the §4.3 comparison), or all")
-		scale   = flag.Float64("scale", 30, "duration scale divisor (1 = full paper-length runs)")
-		hostSc  = flag.Float64("hostscale", 1, "host-count scale divisor for smoke runs")
-		queries = flag.Int("queries", 300, "query count per k for the Figure 17 study")
-		seed    = flag.Int64("seed", 0, "seed offset applied to every run")
-		areaSel = flag.String("area", "", "restrict the free comparison to one area: 2mi or 30mi")
-		chart   = flag.Bool("chart", false, "render ASCII charts next to the numeric tables")
+		fig      = flag.String("fig", "all", "figure to regenerate: 9..17, free (the §4.3 comparison), or all")
+		scale    = flag.Float64("scale", 30, "duration scale divisor (1 = full paper-length runs)")
+		hostSc   = flag.Float64("hostscale", 1, "host-count scale divisor for smoke runs")
+		queries  = flag.Int("queries", 300, "query count per k for the Figure 17 study")
+		seed     = flag.Int64("seed", 0, "seed offset applied to every run")
+		areaSel  = flag.String("area", "", "restrict the free comparison to one area: 2mi or 30mi")
+		chart    = flag.Bool("chart", false, "render ASCII charts next to the numeric tables")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"max concurrent simulation runs within each figure (1 = sequential; output is identical either way)")
 	)
 	flag.Parse()
-	opts := experiments.Options{DurationScale: *scale, HostScale: *hostSc, Seed: *seed}
+	opts := experiments.Options{DurationScale: *scale, HostScale: *hostSc, Seed: *seed, Workers: *parallel}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 	type sweepFn func(experiments.Region, experiments.Area, experiments.Options) (experiments.FigureResult, error)
@@ -93,11 +96,12 @@ func main() {
 		fmt.Println("Uncertain-answer quality (AcceptUncertain on; extension study)")
 		fmt.Printf("%-22s %12s %12s %12s %12s\n",
 			"region", "uncertain %", "server %", "precision", "rank acc.")
-		for _, r := range experiments.Regions {
-			uq, err := experiments.UncertainQuality(r, experiments.Area2mi, opts)
-			if err != nil {
-				fatal(err)
-			}
+		uqs, err := experiments.UncertainQualityAll(experiments.Area2mi, opts)
+		if err != nil {
+			fatal(err)
+		}
+		for i, r := range experiments.Regions {
+			uq := uqs[i]
 			fmt.Printf("%-22s %12.1f %12.1f %12.2f %12.2f\n",
 				r, uq.UncertainShare, uq.ServerShare, uq.Precision, uq.RankAccuracy)
 		}

@@ -125,47 +125,60 @@ func DiskIOStudy(r Region, queries int, opts Options) (DiskIOResult, error) {
 	total := pager.NumPages()
 	fractions := []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1.0}
 	out := DiskIOResult{Region: r, TotalPages: total, K: k}
-	for _, frac := range fractions {
-		pool := int(frac * float64(total))
-		if pool < 2 {
-			pool = 2
-		}
-		run := func(useBounds bool) (faults float64, hitRate float64, err error) {
-			dt, err := pagestore.OpenDiskTree(pager, pool)
-			if err != nil {
-				return 0, 0, err
+	out.Points = make([]DiskIOPoint, len(fractions))
+	// The pool sizes are independent measurements over the same read-only
+	// page file and workload: fan them across opts.Workers. Each task opens
+	// its own DiskTree, so the buffer pool and its statistics are private;
+	// the shared pager only serves concurrent page reads.
+	tasks := make([]RunTask, len(fractions))
+	for i, frac := range fractions {
+		i, frac := i, frac
+		tasks[i] = func() error {
+			pool := int(frac * float64(total))
+			if pool < 2 {
+				pool = 2
 			}
-			// One pass to warm the pool, one measured pass.
-			for pass := 0; pass < 2; pass++ {
-				if pass == 1 {
-					dt.Pool().ResetStats()
+			run := func(useBounds bool) (faults float64, hitRate float64, err error) {
+				dt, err := pagestore.OpenDiskTree(pager, pool)
+				if err != nil {
+					return 0, 0, err
 				}
-				for _, wi := range work {
-					if useBounds {
-						nn.EINNOver(dt, wi.q, wi.want, wi.bounds)
-					} else {
-						nn.BestFirstOver(dt, wi.q, base.CacheSize)
+				// One pass to warm the pool, one measured pass.
+				for pass := 0; pass < 2; pass++ {
+					if pass == 1 {
+						dt.Pool().ResetStats()
+					}
+					for _, wi := range work {
+						if useBounds {
+							nn.EINNOver(dt, wi.q, wi.want, wi.bounds)
+						} else {
+							nn.BestFirstOver(dt, wi.q, base.CacheSize)
+						}
 					}
 				}
+				_, misses := dt.Pool().Stats()
+				return float64(misses) / float64(len(work)), dt.Pool().HitRate(), nil
 			}
-			_, misses := dt.Pool().Stats()
-			return float64(misses) / float64(len(work)), dt.Pool().HitRate(), nil
+			innFaults, hitRate, err := run(false)
+			if err != nil {
+				return err
+			}
+			einnFaults, _, err := run(true)
+			if err != nil {
+				return err
+			}
+			out.Points[i] = DiskIOPoint{
+				PoolPages:    pool,
+				PoolFraction: frac,
+				INNFaults:    innFaults,
+				EINNFaults:   einnFaults,
+				HitRate:      hitRate,
+			}
+			return nil
 		}
-		innFaults, hitRate, err := run(false)
-		if err != nil {
-			return out, err
-		}
-		einnFaults, _, err := run(true)
-		if err != nil {
-			return out, err
-		}
-		out.Points = append(out.Points, DiskIOPoint{
-			PoolPages:    pool,
-			PoolFraction: frac,
-			INNFaults:    innFaults,
-			EINNFaults:   einnFaults,
-			HitRate:      hitRate,
-		})
+	}
+	if err := RunParallel(tasks, opts.Workers); err != nil {
+		return out, err
 	}
 	return out, nil
 }

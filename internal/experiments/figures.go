@@ -42,6 +42,15 @@ type Options struct {
 	HostScale float64
 	// Seed offsets the base seed of every run.
 	Seed int64
+	// Workers caps how many independent simulation runs execute
+	// concurrently (0 = GOMAXPROCS, 1 = sequential). Any value produces
+	// bit-identical results; see RunParallel.
+	Workers int
+	// CommonRandomNumbers gives every point of a sweep the identical base
+	// seed, pairing the runs as a variance-reduction technique. Off by
+	// default: each point then draws an independent seed, so the points are
+	// independent samples.
+	CommonRandomNumbers bool
 }
 
 // normalize fills defaults.
@@ -55,26 +64,47 @@ func (o Options) normalize() Options {
 	return o
 }
 
+// sweepSeed derives the seed of sweep point i. By default every point gets
+// its own seed so the points are independent samples; with
+// CommonRandomNumbers all points share the base seed (paired runs).
+func sweepSeed(baseSeed int64, opts Options, i int) int64 {
+	s := baseSeed + opts.Seed
+	if !opts.CommonRandomNumbers {
+		s += int64(i) * 1_000_000
+	}
+	return s
+}
+
 // runSweep executes one simulation per sweep value, mutating the base config
-// through mut.
+// through mut. The points are independent runs and execute across
+// opts.Workers goroutines; each task owns its result slot and derives its
+// seed from its index, so the series is identical for any worker count.
 func runSweep(base sim.Config, xs []float64, opts Options, mut func(cfg *sim.Config, x float64)) ([]SeriesPoint, error) {
 	opts = opts.normalize()
-	pts := make([]SeriesPoint, 0, len(xs))
-	for _, x := range xs {
-		cfg := ScaleHosts(ScaleDuration(base, opts.DurationScale), opts.HostScale)
-		cfg.Seed = base.Seed + opts.Seed
-		mut(&cfg, x)
-		w, err := sim.New(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sweep x=%v: %w", x, err)
+	pts := make([]SeriesPoint, len(xs))
+	tasks := make([]RunTask, len(xs))
+	for i, x := range xs {
+		i, x := i, x
+		tasks[i] = func() error {
+			cfg := ScaleHosts(ScaleDuration(base, opts.DurationScale), opts.HostScale)
+			cfg.Seed = sweepSeed(base.Seed, opts, i)
+			mut(&cfg, x)
+			w, err := sim.New(cfg)
+			if err != nil {
+				return fmt.Errorf("sweep x=%v: %w", x, err)
+			}
+			m := w.Run()
+			pts[i] = SeriesPoint{
+				X:           x,
+				ShareSingle: m.ShareSingle(),
+				ShareMulti:  m.ShareMulti(),
+				ShareServer: m.SQRR(),
+			}
+			return nil
 		}
-		m := w.Run()
-		pts = append(pts, SeriesPoint{
-			X:           x,
-			ShareSingle: m.ShareSingle(),
-			ShareMulti:  m.ShareMulti(),
-			ShareServer: m.SQRR(),
-		})
+	}
+	if err := RunParallel(tasks, opts.Workers); err != nil {
+		return nil, err
 	}
 	return pts, nil
 }
@@ -161,23 +191,31 @@ func KSweep(r Region, a Area, opts Options) (FigureResult, error) {
 func FreeMovementComparison(r Region, a Area, opts Options) (road, free float64, err error) {
 	opts = opts.normalize()
 	const repeats = 3
-	for _, mode := range []sim.Mode{sim.ModeRoadNetwork, sim.ModeFreeMovement} {
-		var sum float64
+	modes := []sim.Mode{sim.ModeRoadNetwork, sim.ModeFreeMovement}
+	shares := make([]float64, len(modes)*repeats)
+	tasks := make([]RunTask, 0, len(shares))
+	for mi, mode := range modes {
 		for rep := 0; rep < repeats; rep++ {
-			cfg := ScaleHosts(ScaleDuration(BaseConfig(r, a), opts.DurationScale), opts.HostScale)
-			cfg.Mode = mode
-			cfg.Seed += opts.Seed + int64(rep)*7919
-			w, werr := sim.New(cfg)
-			if werr != nil {
-				return 0, 0, werr
-			}
-			sum += w.Run().SQRR()
+			slot, mode, rep := mi*repeats+rep, mode, rep
+			tasks = append(tasks, func() error {
+				cfg := ScaleHosts(ScaleDuration(BaseConfig(r, a), opts.DurationScale), opts.HostScale)
+				cfg.Mode = mode
+				cfg.Seed += opts.Seed + int64(rep)*7919
+				w, werr := sim.New(cfg)
+				if werr != nil {
+					return werr
+				}
+				shares[slot] = w.Run().SQRR()
+				return nil
+			})
 		}
-		if mode == sim.ModeRoadNetwork {
-			road = sum / repeats
-		} else {
-			free = sum / repeats
-		}
+	}
+	if err := RunParallel(tasks, opts.Workers); err != nil {
+		return 0, 0, err
+	}
+	for rep := 0; rep < repeats; rep++ {
+		road += shares[rep] / repeats
+		free += shares[repeats+rep] / repeats
 	}
 	return road, free, nil
 }
@@ -229,17 +267,16 @@ func EINNvsINN(r Region, a Area, queries int, opts Options) (Fig17Result, error)
 	rng := rand.New(rand.NewSource(base.Seed + opts.Seed + 17))
 	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(base.AreaWidth, base.AreaHeight))
 	pois := sim.ClusteredPOIs(base.NumPOIs, bounds, base.NumPOIs/25, base.AreaWidth/250, rng)
-	srv := sim.NewServerModule(pois, base.RTreeFanout)
-	tree := srv.Tree()
+	setupTree := sim.NewServerModule(pois, base.RTreeFanout).Tree()
 
 	// Synthetic peer caches: hosts that previously queried at random
 	// locations and hold their exact top-C_Size NN sets — what the running
-	// simulator's steady state produces.
+	// simulator's steady state produces. Built once, read-only afterwards.
 	nCaches := 2000
 	caches := make([]core.PeerCache, nCaches)
 	for i := range caches {
 		loc := geom.Pt(rng.Float64()*base.AreaWidth, rng.Float64()*base.AreaHeight)
-		res := nn.BestFirst(tree, loc, base.CacheSize)
+		res := nn.BestFirst(setupTree, loc, base.CacheSize)
 		ns := make([]core.POI, len(res))
 		for j, rr := range res {
 			ns[j] = rr.Data.(core.POI)
@@ -258,62 +295,76 @@ func EINNvsINN(r Region, a Area, queries int, opts Options) (Fig17Result, error)
 	}
 
 	ks := []int{4, 6, 8, 10, 12, 14}
-	result := Fig17Result{Region: r}
-	for _, k := range ks {
-		var einnTotal, innTotal int64
-		for qi := 0; qi < queries; qi++ {
-			// A querying host always carries its own cached previous
-			// result, so sample the query displaced from a cache location
-			// by the travel since that query was cached.
-			home := caches[rng.Intn(nCaches)]
-			drift := rng.Float64() * base.TxRange
-			angle := rng.Float64() * 2 * math.Pi
-			q := home.QueryLoc.Add(geom.Pt(drift*math.Cos(angle), drift*math.Sin(angle)))
-			peers := nearCaches(q, base.TxRange)
-			heap := core.NewResultHeap(k)
-			for _, p := range core.SortPeersByProximity(q, peers) {
-				core.VerifySinglePeer(q, p, heap)
-				if heap.Complete() {
-					break
+	points := make([]Fig17Point, len(ks))
+	tasks := make([]RunTask, len(ks))
+	for ki, k := range ks {
+		ki, k := ki, k
+		tasks[ki] = func() error {
+			// Each k measures on its own tree — the page-access counter is
+			// per-tree mutable state — and draws its workload from a seed
+			// derived from (base seed, k), so the series is independent of
+			// both the other ks and the execution order.
+			tree := sim.NewServerModule(pois, base.RTreeFanout).Tree()
+			rng := rand.New(rand.NewSource(base.Seed + opts.Seed + 17 + int64(k)*7919))
+			var einnTotal, innTotal int64
+			for qi := 0; qi < queries; qi++ {
+				// A querying host always carries its own cached previous
+				// result, so sample the query displaced from a cache location
+				// by the travel since that query was cached.
+				home := caches[rng.Intn(nCaches)]
+				drift := rng.Float64() * base.TxRange
+				angle := rng.Float64() * 2 * math.Pi
+				q := home.QueryLoc.Add(geom.Pt(drift*math.Cos(angle), drift*math.Sin(angle)))
+				peers := nearCaches(q, base.TxRange)
+				heap := core.NewResultHeap(k)
+				for _, p := range core.SortPeersByProximity(q, peers) {
+					core.VerifySinglePeer(q, p, heap)
+					if heap.Complete() {
+						break
+					}
 				}
-			}
-			if heap.Complete() {
-				// Peer-resolved queries never reach the server; Figure 17
-				// measures server-side behavior, so draw another query.
-				qi--
-				continue
-			}
-			b := heap.Bounds()
-			// Cache policy 2 (§4.1): a query that reaches the server asks
-			// for C_Size nearest neighbors to refill the host cache. The
-			// k-NN answer itself only needs the top k, which the upper
-			// bound guarantees; EINN therefore truncates the deep refill
-			// search at the bound while the original INN pages all the way
-			// to the C_Size-th neighbor.
-			want := base.CacheSize
-			if k > want {
-				want = k
-			}
+				if heap.Complete() {
+					// Peer-resolved queries never reach the server; Figure 17
+					// measures server-side behavior, so draw another query.
+					qi--
+					continue
+				}
+				b := heap.Bounds()
+				// Cache policy 2 (§4.1): a query that reaches the server asks
+				// for C_Size nearest neighbors to refill the host cache. The
+				// k-NN answer itself only needs the top k, which the upper
+				// bound guarantees; EINN therefore truncates the deep refill
+				// search at the bound while the original INN pages all the way
+				// to the C_Size-th neighbor.
+				want := base.CacheSize
+				if k > want {
+					want = k
+				}
 
-			tree.ResetAccessCount()
-			_ = nn.BestFirst(tree, q, want)
-			innTotal += tree.AccessCount()
+				tree.ResetAccessCount()
+				_ = nn.BestFirst(tree, q, want)
+				innTotal += tree.AccessCount()
 
-			tree.ResetAccessCount()
-			_ = nn.EINN(tree, q, want-heap.NumCertain(), b)
-			einnTotal += tree.AccessCount()
+				tree.ResetAccessCount()
+				_ = nn.EINN(tree, q, want-heap.NumCertain(), b)
+				einnTotal += tree.AccessCount()
+			}
+			n := float64(queries)
+			einn, inn := float64(einnTotal)/n, float64(innTotal)/n
+			red := 0.0
+			if inn > 0 {
+				red = 100 * (inn - einn) / inn
+			}
+			points[ki] = Fig17Point{
+				K: k, EINNPages: einn, INNPages: inn, Reduction: red,
+			}
+			return nil
 		}
-		n := float64(queries)
-		einn, inn := float64(einnTotal)/n, float64(innTotal)/n
-		red := 0.0
-		if inn > 0 {
-			red = 100 * (inn - einn) / inn
-		}
-		result.Points = append(result.Points, Fig17Point{
-			K: k, EINNPages: einn, INNPages: inn, Reduction: red,
-		})
 	}
-	return result, nil
+	if err := RunParallel(tasks, opts.Workers); err != nil {
+		return Fig17Result{}, err
+	}
+	return Fig17Result{Region: r, Points: points}, nil
 }
 
 // ---------------------------------------------------------------------------

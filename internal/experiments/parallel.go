@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunTask is one independent unit of an experiment: typically "build one
+// sim.World and run it", writing its result into a caller-owned slot. Tasks
+// must not share mutable state — each derives everything it needs (including
+// its random stream) from the task index, so the outcome is identical
+// whatever order or interleaving the pool executes them in.
+type RunTask func() error
+
+// RunParallel executes tasks across a fixed pool of workers and returns the
+// first error in task order (not completion order). workers <= 0 means
+// runtime.GOMAXPROCS(0); workers == 1 degenerates to a plain sequential
+// loop. Because every task owns its result slot and its seed, the output is
+// bit-identical for any worker count — the determinism contract the figure
+// suite relies on (verified by TestParallelMatchesSequential*).
+func RunParallel(tasks []RunTask, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = tasks[i]()
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunParallelPreservesSlotOrder(t *testing.T) {
+	const n = 100
+	out := make([]int, n)
+	tasks := make([]RunTask, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func() error {
+			out[i] = i * i
+			return nil
+		}
+	}
+	for _, workers := range []int{0, 1, 3, 8, n + 5} {
+		for i := range out {
+			out[i] = -1
+		}
+		if err := RunParallel(tasks, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunParallelFirstErrorByTaskOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	tasks := []RunTask{
+		func() error { return nil },
+		func() error { return errA },
+		func() error { return errB },
+	}
+	for _, workers := range []int{1, 4} {
+		if err := RunParallel(tasks, workers); !errors.Is(err, errA) {
+			t.Errorf("workers=%d: err = %v, want %v (first in task order)", workers, err, errA)
+		}
+	}
+}
+
+func TestRunParallelRunsEveryTask(t *testing.T) {
+	var ran atomic.Int64
+	tasks := make([]RunTask, 37)
+	for i := range tasks {
+		tasks[i] = func() error {
+			ran.Add(1)
+			return nil
+		}
+	}
+	if err := RunParallel(tasks, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 37 {
+		t.Errorf("ran %d tasks, want 37", got)
+	}
+	if err := RunParallel(nil, 4); err != nil {
+		t.Errorf("empty task list: %v", err)
+	}
+}
+
+func TestSweepSeedDerivation(t *testing.T) {
+	opts := Options{Seed: 5}
+	s0 := sweepSeed(1, opts, 0)
+	s1 := sweepSeed(1, opts, 1)
+	if s0 == s1 {
+		t.Error("independent sweep points share a seed")
+	}
+	if s0 != 6 {
+		t.Errorf("point 0 seed = %d, want base+offset = 6", s0)
+	}
+	opts.CommonRandomNumbers = true
+	if a, b := sweepSeed(1, opts, 0), sweepSeed(1, opts, 9); a != b {
+		t.Errorf("common random numbers: seeds differ (%d vs %d)", a, b)
+	}
+}
+
+// smokeOpts is a cheap configuration for the parallel-vs-sequential
+// determinism properties: the contract is byte equality, not figure quality,
+// so the smallest region at an aggressive scale suffices.
+func smokeOpts(workers int) Options {
+	return Options{DurationScale: 30, HostScale: 2, Workers: workers}
+}
+
+// TestParallelMatchesSequentialSweep is the determinism contract of the
+// sweep engine: any worker count must produce a bit-identical series.
+func TestParallelMatchesSequentialSweep(t *testing.T) {
+	seq, err := VelocitySweep(Riverside, Area2mi, smokeOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		par, err := VelocitySweep(Riverside, Area2mi, smokeOpts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d series diverged:\nseq: %+v\npar: %+v", workers, seq, par)
+		}
+		if got, want := FormatFigure(par), FormatFigure(seq); got != want {
+			t.Errorf("workers=%d rendered output diverged:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+func TestParallelMatchesSequentialFreeMovement(t *testing.T) {
+	roadSeq, freeSeq, err := FreeMovementComparison(Riverside, Area2mi, smokeOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roadPar, freePar, err := FreeMovementComparison(Riverside, Area2mi, smokeOpts(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roadSeq != roadPar || freeSeq != freePar {
+		t.Errorf("free-movement comparison diverged: (%v, %v) vs (%v, %v)",
+			roadSeq, freeSeq, roadPar, freePar)
+	}
+}
+
+func TestParallelMatchesSequentialFig17(t *testing.T) {
+	seq, err := EINNvsINN(Riverside, Area30mi, 40, smokeOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EINNvsINN(Riverside, Area30mi, 40, smokeOpts(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("Fig17 diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if FormatFig17(seq) != FormatFig17(par) {
+		t.Error("Fig17 rendered output diverged")
+	}
+}
+
+func TestParallelMatchesSequentialDiskIO(t *testing.T) {
+	seq, err := DiskIOStudy(Riverside, 30, smokeOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := DiskIOStudy(Riverside, 30, smokeOpts(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("disk I/O study diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestParallelMatchesSequentialUncertain(t *testing.T) {
+	seq, err := UncertainQualityAll(Area2mi, smokeOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := UncertainQualityAll(Area2mi, smokeOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision/RankAccuracy are NaN when no uncertain answer occurred at
+	// this smoke scale; NaN != NaN would fail DeepEqual even on identical
+	// runs, so map NaN to a sentinel first.
+	norm := func(rs []UncertainQualityResult) []UncertainQualityResult {
+		out := append([]UncertainQualityResult(nil), rs...)
+		for i := range out {
+			if math.IsNaN(out[i].Precision) {
+				out[i].Precision = -1
+			}
+			if math.IsNaN(out[i].RankAccuracy) {
+				out[i].RankAccuracy = -1
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(norm(seq), norm(par)) {
+		t.Errorf("uncertain-quality study diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

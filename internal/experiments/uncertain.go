@@ -81,6 +81,29 @@ func UncertainQuality(r Region, a Area, opts Options) (UncertainQualityResult, e
 	return res, nil
 }
 
+// UncertainQualityAll runs UncertainQuality for every region of the study
+// area, fanning the independent simulations across opts.Workers. Results are
+// returned in Regions order regardless of scheduling.
+func UncertainQualityAll(a Area, opts Options) ([]UncertainQualityResult, error) {
+	out := make([]UncertainQualityResult, len(Regions))
+	tasks := make([]RunTask, len(Regions))
+	for i, r := range Regions {
+		i, r := i, r
+		tasks[i] = func() error {
+			res, err := UncertainQuality(r, a, opts)
+			if err != nil {
+				return err
+			}
+			out[i] = res
+			return nil
+		}
+	}
+	if err := RunParallel(tasks, opts.normalize().Workers); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // kNearestIDs returns the IDs of the k nearest POIs of q in rank order.
 func kNearestIDs(q geom.Point, pois []core.POI, k int) []int64 {
 	type hit struct {

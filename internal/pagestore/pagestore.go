@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the fixed page size in bytes. 4 KiB matches common disk and
@@ -144,10 +145,12 @@ func (pf *PageFile) Close() error { return pf.f.Close() }
 // In-memory pager (for tests and small data sets).
 
 // MemPager keeps all pages in memory; "disk" reads are still counted so the
-// statistics remain meaningful.
+// statistics remain meaningful. Once construction (AppendPage) is done, the
+// pager is safe for concurrent readers — experiment runners fan independent
+// buffer pools over one shared pager.
 type MemPager struct {
 	pages [][]byte
-	reads int64
+	reads atomic.Int64
 }
 
 // NewMemPager returns an empty in-memory pager.
@@ -169,7 +172,7 @@ func (m *MemPager) ReadPage(id PageID, buf []byte) error {
 	if int(id) >= len(m.pages) {
 		return fmt.Errorf("pagestore: page %d out of range (%d pages)", id, len(m.pages))
 	}
-	m.reads++
+	m.reads.Add(1)
 	copy(buf, m.pages[id])
 	return nil
 }
@@ -178,10 +181,10 @@ func (m *MemPager) ReadPage(id PageID, buf []byte) error {
 func (m *MemPager) NumPages() int { return len(m.pages) }
 
 // Reads returns the backing reads performed so far.
-func (m *MemPager) Reads() int64 { return m.reads }
+func (m *MemPager) Reads() int64 { return m.reads.Load() }
 
 // ResetReads zeroes the read counter.
-func (m *MemPager) ResetReads() { m.reads = 0 }
+func (m *MemPager) ResetReads() { m.reads.Store(0) }
 
 // ---------------------------------------------------------------------------
 // LRU buffer pool.
@@ -196,8 +199,9 @@ type frame struct {
 }
 
 // BufferPool caches pages with LRU replacement and pin counting. It is safe
-// for single-goroutine use (the simulator and benchmarks are sequential);
-// the underlying pagers are independently locked.
+// for single-goroutine use — concurrent experiment runners give every task
+// its own pool; the underlying pagers are independently synchronized and may
+// be shared.
 type BufferPool struct {
 	pager    Pager
 	capacity int

@@ -19,7 +19,12 @@ type hostGrid struct {
 // newHostGrid builds an index over bounds for n hosts with the given cell
 // size (normally the transmission range; clamped to keep the table small).
 func newHostGrid(bounds geom.Rect, n int, cell float64) *hostGrid {
+	// Clamp on both dimensions: either a wide or a tall area could
+	// otherwise blow up its axis's cell count (the table is nx*ny).
 	minCell := bounds.Width() / 512
+	if m := bounds.Height() / 512; m > minCell {
+		minCell = m
+	}
 	if cell < minCell {
 		cell = minCell
 	}

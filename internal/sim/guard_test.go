@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/nn"
+)
+
+func smokeConfig() Config {
+	return Config{
+		AreaWidth:        1000,
+		AreaHeight:       1000,
+		NumHosts:         40,
+		NumPOIs:          12,
+		CacheSize:        6,
+		KMin:             1,
+		KMax:             4,
+		TxRange:          200,
+		Velocity:         13,
+		MovePercentage:   0.8,
+		MaxPause:         10,
+		QueriesPerMinute: 60,
+		Duration:         120,
+		Mode:             ModeFreeMovement,
+		RTreeFanout:      8,
+		Seed:             42,
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	w, err := New(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	w.Run()
+}
+
+func TestHostGridClampsBothDimensions(t *testing.T) {
+	// A tall, narrow area with a tiny cell: the width-only clamp used to
+	// leave the row count unbounded (height/cell rows).
+	tall := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 1_000_000))
+	g := newHostGrid(tall, 4, 1)
+	if cells := g.nx * g.ny; cells > 514*514 {
+		t.Errorf("tall area allocated %d cells (%dx%d); clamp failed", cells, g.nx, g.ny)
+	}
+	wide := geom.NewRect(geom.Pt(0, 0), geom.Pt(1_000_000, 100))
+	g = newHostGrid(wide, 4, 1)
+	if cells := g.nx * g.ny; cells > 514*514 {
+		t.Errorf("wide area allocated %d cells (%dx%d); clamp failed", cells, g.nx, g.ny)
+	}
+	// The grid must still index and find hosts after clamping.
+	g.update(0, geom.Pt(10, 50))
+	found := false
+	g.forNeighbors(geom.Pt(11, 51), 5, func(i int32) { found = found || i == 0 })
+	if !found {
+		t.Error("clamped grid lost a host")
+	}
+}
+
+// TestServerKNNExcludesLowerBoundPOI pins the boundary behavior the
+// server-fallback merge in executeQuery depends on: the EINN lower bound is
+// inclusive, so the POI whose distance equals the last certain distance is
+// never re-fetched and the certified prefix cannot gain a duplicate.
+func TestServerKNNExcludesLowerBoundPOI(t *testing.T) {
+	q := geom.Pt(0, 0)
+	pois := []core.POI{
+		{ID: 0, Loc: geom.Pt(1, 0)},
+		{ID: 1, Loc: geom.Pt(2, 0)},
+		{ID: 2, Loc: geom.Pt(3, 0)},
+		{ID: 3, Loc: geom.Pt(4, 0)},
+	}
+	srv := NewServerModule(pois, 4)
+	// The client is certain of POI 0 at distance 1; the merge appends the
+	// server's answer to that prefix.
+	b := nn.Bounds{Lower: q.Dist(pois[0].Loc), HasLower: true}
+	fetched := srv.KNN(q, 2, b)
+	if len(fetched) != 2 {
+		t.Fatalf("fetched %d POIs, want 2", len(fetched))
+	}
+	for _, p := range fetched {
+		if p.ID == 0 {
+			t.Fatalf("server re-fetched the certain POI at the lower bound: %v", fetched)
+		}
+	}
+	if fetched[0].ID != 1 || fetched[1].ID != 2 {
+		t.Errorf("fetched = %v, want POIs 1 and 2 in distance order", fetched)
+	}
+}
+
+// TestNoDuplicatePOIsInAnswersOrCaches audits a full simulation run: no
+// query answer and no stored peer cache may contain the same POI twice, and
+// every cache must stay an exact distance prefix (ascending distances).
+func TestNoDuplicatePOIsInAnswersOrCaches(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Seed = 7
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	w.SetAudit(func(q geom.Point, k int, answer []core.Candidate, src core.Source) {
+		seen := make(map[int64]bool, len(answer))
+		for _, c := range answer {
+			if seen[c.ID] {
+				t.Errorf("duplicate POI %d in %v answer at %v", c.ID, src, q)
+			}
+			seen[c.ID] = true
+		}
+		checked++
+	})
+	w.Run()
+	if checked == 0 {
+		t.Fatal("audit saw no queries")
+	}
+	for _, pc := range w.PeerCachesSnapshot() {
+		seen := make(map[int64]bool, len(pc.Neighbors))
+		prev := -1.0
+		for _, p := range pc.Neighbors {
+			if seen[p.ID] {
+				t.Errorf("duplicate POI %d in cached result at %v", p.ID, pc.QueryLoc)
+			}
+			seen[p.ID] = true
+			if d := pc.QueryLoc.Dist(p.Loc); d < prev-geom.Eps {
+				t.Errorf("cache at %v not in distance order: %v after %v", pc.QueryLoc, d, prev)
+			} else {
+				prev = d
+			}
+		}
+	}
+}

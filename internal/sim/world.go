@@ -32,6 +32,7 @@ type World struct {
 	now         float64
 	nextQueryAt float64
 	recording   bool
+	ran         bool
 	metrics     Metrics
 
 	peersBuf []core.PeerCache // scratch for query execution
@@ -157,8 +158,14 @@ func (w *World) scheduleNextQuery() {
 }
 
 // Run advances the simulation to the configured duration and returns the
-// steady-state metrics. It can be called once per World.
+// steady-state metrics. It can be called once per World: the event clock,
+// warm-up bookkeeping, and host caches are consumed by the run, so a second
+// call would silently report wrong metrics — it panics instead.
 func (w *World) Run() Metrics {
+	if w.ran {
+		panic("sim: World.Run called twice; build a new World per run")
+	}
+	w.ran = true
 	warmupEnd := w.cfg.Duration * w.cfg.WarmupFraction
 	dt := w.cfg.StepSeconds
 	for w.now < w.cfg.Duration {
