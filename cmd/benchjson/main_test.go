@@ -1,0 +1,85 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkWorldStep/workers=1-8         	       3	 90000000 ns/op
+BenchmarkWorldStep/workers=1-8         	       3	 80000000 ns/op
+BenchmarkWorldStep/workers=8-8         	       3	 20000000 ns/op	     512 B/op	       7 allocs/op
+BenchmarkFigureSuiteSequential-8       	       1	500000000 ns/op
+PASS
+ok  	repro	42.0s
+`
+
+func TestParseAggregatesAndStripsProcSuffix(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range doc.Benchmarks {
+		byName[b.Name] = b
+	}
+	w1, ok := byName["WorldStep/workers=1"]
+	if !ok {
+		t.Fatalf("proc suffix not stripped: %+v", byName)
+	}
+	if w1.Runs != 2 || w1.NsPerOp != 80000000 {
+		t.Errorf("workers=1 = %+v, want 2 runs at min 8e7 ns/op", w1)
+	}
+	if w8 := byName["WorldStep/workers=8"]; w8.BPerOp != 512 || w8.AllocsOp != 7 {
+		t.Errorf("extra metrics not parsed: %+v", w8)
+	}
+	// Sorted by name for byte-diffable output.
+	for i := 1; i < len(doc.Benchmarks); i++ {
+		if doc.Benchmarks[i-1].Name > doc.Benchmarks[i].Name {
+			t.Errorf("benchmarks not sorted: %q before %q",
+				doc.Benchmarks[i-1].Name, doc.Benchmarks[i].Name)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := Document{Benchmarks: []Benchmark{
+		{Name: "A", NsPerOp: 100},
+		{Name: "B", NsPerOp: 100},
+		{Name: "Gone", NsPerOp: 100},
+	}}
+	ok := Document{Benchmarks: []Benchmark{
+		{Name: "A", NsPerOp: 115}, // +15% < +20%: fine
+		{Name: "B", NsPerOp: 50},  // faster: fine
+		{Name: "New", NsPerOp: 9e9},
+	}}
+	if err := Gate(io.Discard, ok, base, 0.20); err != nil {
+		t.Errorf("within-tolerance run failed the gate: %v", err)
+	}
+	bad := Document{Benchmarks: []Benchmark{{Name: "A", NsPerOp: 130}}}
+	if err := Gate(io.Discard, bad, base, 0.20); err == nil {
+		t.Error("+30% regression passed a +20% gate")
+	}
+}
+
+func TestCheckSpeedup(t *testing.T) {
+	doc := Document{Benchmarks: []Benchmark{
+		{Name: "WorldStep/workers=1", NsPerOp: 100},
+		{Name: "WorldStep/workers=8", NsPerOp: 40},
+	}}
+	if err := checkSpeedup(doc, "WorldStep/workers=1:WorldStep/workers=8:2.0"); err != nil {
+		t.Errorf("2.5x speedup failed a 2.0x requirement: %v", err)
+	}
+	if err := checkSpeedup(doc, "WorldStep/workers=1:WorldStep/workers=8:3.0"); err == nil {
+		t.Error("2.5x speedup passed a 3.0x requirement")
+	}
+	if err := checkSpeedup(doc, "nope"); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}

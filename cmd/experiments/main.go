@@ -6,7 +6,8 @@
 // Usage:
 //
 //	experiments [-fig 9|10|11|12|13|14|15|16|17|free|uncertain|diskio|all]
-//	            [-scale N] [-queries N] [-area 2mi|30mi] [-chart] [-parallel N]
+//	            [-scale N] [-queries N] [-area 2mi|30mi] [-chart]
+//	            [-parallel N] [-worldworkers N] [-json dir]
 package main
 
 import (
@@ -31,10 +32,22 @@ func main() {
 		areaSel  = flag.String("area", "", "restrict the free comparison to one area: 2mi or 30mi")
 		chart    = flag.Bool("chart", false, "render ASCII charts next to the numeric tables")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
-			"max concurrent simulation runs within each figure (1 = sequential; output is identical either way)")
+			"core budget per figure: concurrent simulation runs × movement workers per run (1 = fully sequential; output is identical either way)")
+		worldWorkers = flag.Int("worldworkers", 0,
+			"movement workers inside each simulation (0 = derive from the -parallel budget; output is identical for any value)")
+		jsonDir = flag.String("json", "",
+			"directory to also write machine-readable results into (one JSON file per figure, stable key order)")
 	)
 	flag.Parse()
-	opts := experiments.Options{DurationScale: *scale, HostScale: *hostSc, Seed: *seed, Workers: *parallel}
+	opts := experiments.Options{
+		DurationScale: *scale, HostScale: *hostSc, Seed: *seed,
+		Workers: *parallel, WorldWorkers: *worldWorkers,
+	}
+	persist := func(err error) {
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 	type sweepFn func(experiments.Region, experiments.Area, experiments.Options) (experiments.FigureResult, error)
@@ -58,6 +71,7 @@ func main() {
 			continue
 		}
 		ran = true
+		frs := make([]experiments.FigureResult, 0, len(experiments.Regions))
 		for _, r := range experiments.Regions {
 			fr, err := s.fn(r, s.area, opts)
 			if err != nil {
@@ -67,6 +81,10 @@ func main() {
 			if *chart {
 				fmt.Println(figureChart(fr))
 			}
+			frs = append(frs, fr)
+		}
+		if *jsonDir != "" {
+			persist(experiments.WriteFigureJSON(*jsonDir, frs))
 		}
 	}
 	if want("free") {
@@ -78,6 +96,7 @@ func main() {
 		case "30mi":
 			areas = areas[1:]
 		}
+		var rows []experiments.FreeComparisonRow
 		fmt.Println("Section 4.3 — free movement vs road network mode (server share %)")
 		fmt.Printf("%-22s %-10s %12s %12s %10s\n", "region", "area", "road SQRR", "free SQRR", "delta")
 		for _, a := range areas {
@@ -87,9 +106,16 @@ func main() {
 					fatal(err)
 				}
 				fmt.Printf("%-22s %-10s %12.1f %12.1f %10.1f\n", r, a, road, free, road-free)
+				rows = append(rows, experiments.FreeComparisonRow{
+					Region: r.String(), Area: a.String(),
+					RoadSQRR: road, FreeSQRR: free, Delta: road - free,
+				})
 			}
 		}
 		fmt.Println()
+		if *jsonDir != "" {
+			persist(experiments.WriteFreeJSON(*jsonDir, rows))
+		}
 	}
 	if want("uncertain") {
 		ran = true
@@ -106,6 +132,9 @@ func main() {
 				r, uq.UncertainShare, uq.ServerShare, uq.Precision, uq.RankAccuracy)
 		}
 		fmt.Println()
+		if *jsonDir != "" {
+			persist(experiments.WriteUncertainJSON(*jsonDir, uqs))
+		}
 	}
 	if want("diskio") {
 		ran = true
@@ -114,15 +143,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(experiments.FormatDiskIO(fr))
+		if *jsonDir != "" {
+			persist(experiments.WriteDiskIOJSON(*jsonDir, fr))
+		}
 	}
 	if want("17") {
 		ran = true
+		frs := make([]experiments.Fig17Result, 0, len(experiments.Regions))
 		for _, r := range experiments.Regions {
 			fr, err := experiments.EINNvsINN(r, experiments.Area30mi, *queries, opts)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Println(experiments.FormatFig17(fr))
+			frs = append(frs, fr)
+		}
+		if *jsonDir != "" {
+			persist(experiments.WriteFig17JSON(*jsonDir, frs))
 		}
 	}
 	if !ran {

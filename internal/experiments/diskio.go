@@ -18,14 +18,14 @@ import (
 type DiskIOPoint struct {
 	// PoolPages is the buffer pool capacity; PoolFraction the ratio to the
 	// packed file size.
-	PoolPages    int
-	PoolFraction float64
+	PoolPages    int     `json:"pool_pages"`
+	PoolFraction float64 `json:"pool_fraction"`
 	// INNFaults and EINNFaults are mean disk faults (buffer misses) per
 	// query for the two algorithms.
-	INNFaults  float64
-	EINNFaults float64
+	INNFaults  float64 `json:"inn_faults_per_query"`
+	EINNFaults float64 `json:"einn_faults_per_query"`
 	// HitRate is the INN run's buffer hit rate.
-	HitRate float64
+	HitRate float64 `json:"hit_rate"`
 }
 
 // DiskIOResult is the full study for one region's POI set.
@@ -87,19 +87,16 @@ func DiskIOStudy(r Region, queries int, opts Options) (DiskIOResult, error) {
 		want   int
 	}
 	// Pre-generate the query workload once so every pool size sees the
-	// identical sequence.
+	// identical sequence. Cache lookups go through the uniform-grid index
+	// rather than a scan over all caches.
+	nearCaches := newCacheIndex(caches, bounds, base.TxRange)
 	var work []workItem
 	for len(work) < queries {
 		home := caches[rng.Intn(len(caches))]
 		drift := rng.Float64() * base.TxRange
 		angle := rng.Float64() * 2 * math.Pi
 		q := home.QueryLoc.Add(geom.Pt(drift*math.Cos(angle), drift*math.Sin(angle)))
-		var peers []core.PeerCache
-		for _, c := range caches {
-			if q.Dist(c.QueryLoc) <= base.TxRange {
-				peers = append(peers, c)
-			}
-		}
+		peers := nearCaches(q, base.TxRange)
 		heap := core.NewResultHeap(base.CacheSize)
 		for _, p := range core.SortPeersByProximity(q, peers) {
 			core.VerifySinglePeer(q, p, heap)

@@ -42,10 +42,17 @@ type Options struct {
 	HostScale float64
 	// Seed offsets the base seed of every run.
 	Seed int64
-	// Workers caps how many independent simulation runs execute
-	// concurrently (0 = GOMAXPROCS, 1 = sequential). Any value produces
-	// bit-identical results; see RunParallel.
+	// Workers is the total core budget of a runner: it caps how many
+	// independent simulation runs execute concurrently (0 = GOMAXPROCS,
+	// 1 = sequential) and, through WorkerBudget, how many movement workers
+	// each run gets (outer tasks × inner workers ≤ Workers). Any value
+	// produces bit-identical results; see RunParallel and WorkerBudget.
 	Workers int
+	// WorldWorkers overrides the intra-world movement worker count
+	// (sim.Config.Workers) of every simulation the runner launches. 0
+	// derives it from the Workers budget via WorkerBudget. Results are
+	// identical for any value.
+	WorldWorkers int
 	// CommonRandomNumbers gives every point of a sweep the identical base
 	// seed, pairing the runs as a variance-reduction technique. Off by
 	// default: each point then draws an independent seed, so the points are
@@ -62,6 +69,18 @@ func (o Options) normalize() Options {
 		o.HostScale = 1
 	}
 	return o
+}
+
+// workerSplit resolves the two parallelism levels for a runner with the
+// given task count: the outer RunParallel worker count and the
+// sim.Config.Workers value of each launched simulation, honoring an
+// explicit WorldWorkers override.
+func (o Options) workerSplit(tasks int) (outer, inner int) {
+	outer, inner = WorkerBudget(o.Workers, tasks)
+	if o.WorldWorkers > 0 {
+		inner = o.WorldWorkers
+	}
+	return outer, inner
 }
 
 // sweepSeed derives the seed of sweep point i. By default every point gets
@@ -81,6 +100,7 @@ func sweepSeed(baseSeed int64, opts Options, i int) int64 {
 // seed from its index, so the series is identical for any worker count.
 func runSweep(base sim.Config, xs []float64, opts Options, mut func(cfg *sim.Config, x float64)) ([]SeriesPoint, error) {
 	opts = opts.normalize()
+	outer, inner := opts.workerSplit(len(xs))
 	pts := make([]SeriesPoint, len(xs))
 	tasks := make([]RunTask, len(xs))
 	for i, x := range xs {
@@ -88,6 +108,7 @@ func runSweep(base sim.Config, xs []float64, opts Options, mut func(cfg *sim.Con
 		tasks[i] = func() error {
 			cfg := ScaleHosts(ScaleDuration(base, opts.DurationScale), opts.HostScale)
 			cfg.Seed = sweepSeed(base.Seed, opts, i)
+			cfg.Workers = inner
 			mut(&cfg, x)
 			w, err := sim.New(cfg)
 			if err != nil {
@@ -103,7 +124,7 @@ func runSweep(base sim.Config, xs []float64, opts Options, mut func(cfg *sim.Con
 			return nil
 		}
 	}
-	if err := RunParallel(tasks, opts.Workers); err != nil {
+	if err := RunParallel(tasks, outer); err != nil {
 		return nil, err
 	}
 	return pts, nil
@@ -193,6 +214,7 @@ func FreeMovementComparison(r Region, a Area, opts Options) (road, free float64,
 	const repeats = 3
 	modes := []sim.Mode{sim.ModeRoadNetwork, sim.ModeFreeMovement}
 	shares := make([]float64, len(modes)*repeats)
+	outer, inner := opts.workerSplit(len(shares))
 	tasks := make([]RunTask, 0, len(shares))
 	for mi, mode := range modes {
 		for rep := 0; rep < repeats; rep++ {
@@ -201,6 +223,7 @@ func FreeMovementComparison(r Region, a Area, opts Options) (road, free float64,
 				cfg := ScaleHosts(ScaleDuration(BaseConfig(r, a), opts.DurationScale), opts.HostScale)
 				cfg.Mode = mode
 				cfg.Seed += opts.Seed + int64(rep)*7919
+				cfg.Workers = inner
 				w, werr := sim.New(cfg)
 				if werr != nil {
 					return werr
@@ -210,7 +233,7 @@ func FreeMovementComparison(r Region, a Area, opts Options) (road, free float64,
 			})
 		}
 	}
-	if err := RunParallel(tasks, opts.Workers); err != nil {
+	if err := RunParallel(tasks, outer); err != nil {
 		return 0, 0, err
 	}
 	for rep := 0; rep < repeats; rep++ {
@@ -237,10 +260,10 @@ func subfig(r Region) string {
 // Fig17Point compares R*-tree page accesses of the extended (EINN) and the
 // original (INN) incremental NN algorithm for one k.
 type Fig17Point struct {
-	K         int
-	EINNPages float64 // mean pages per query
-	INNPages  float64
-	Reduction float64 // % fewer pages with EINN
+	K         int     `json:"k"`
+	EINNPages float64 `json:"einn_pages"` // mean pages per query
+	INNPages  float64 `json:"inn_pages"`
+	Reduction float64 `json:"reduction_pct"` // % fewer pages with EINN
 }
 
 // Fig17Result is the Figure 17 series for one region.
@@ -283,16 +306,12 @@ func EINNvsINN(r Region, a Area, queries int, opts Options) (Fig17Result, error)
 		}
 		caches[i] = core.NewPeerCache(loc, ns)
 	}
-	// Index cache locations for range lookups.
-	nearCaches := func(q geom.Point, radius float64) []core.PeerCache {
-		var out []core.PeerCache
-		for _, c := range caches {
-			if q.Dist(c.QueryLoc) <= radius {
-				out = append(out, c)
-			}
-		}
-		return out
-	}
+	// Index cache locations in a uniform grid (the simulator's hostGrid
+	// cell math) so each query scans only the cells within transmission
+	// range instead of all nCaches locations. Indices are sorted back to
+	// ascending cache order, so the gathered peer list is exactly what the
+	// old O(#caches) scan produced.
+	nearCaches := newCacheIndex(caches, bounds, base.TxRange)
 
 	ks := []int{4, 6, 8, 10, 12, 14}
 	points := make([]Fig17Point, len(ks))

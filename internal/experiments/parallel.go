@@ -18,6 +18,34 @@ type RunTask func() error
 // loop. Because every task owns its result slot and its seed, the output is
 // bit-identical for any worker count — the determinism contract the figure
 // suite relies on (verified by TestParallelMatchesSequential*).
+// WorkerBudget splits a core budget between the two levels of the
+// parallelism model: the outer fan-out of independent simulation runs
+// (RunParallel) and the intra-world movement workers of each run
+// (sim.Config.Workers). The rule is outer × inner ≤ budget, so a sweep
+// never oversubscribes the machine: a wide sweep saturates the budget with
+// whole runs (inner = 1), while a sweep with fewer points than cores gives
+// the spare cores to each run's movement phase. budget <= 0 means
+// runtime.GOMAXPROCS(0). Both levels are deterministic, so the split is
+// purely a scheduling decision — any (outer, inner) pair produces
+// bit-identical results.
+func WorkerBudget(budget, tasks int) (outer, inner int) {
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	if tasks < 1 {
+		tasks = 1
+	}
+	outer = budget
+	if tasks < outer {
+		outer = tasks
+	}
+	inner = budget / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}
+
 func RunParallel(tasks []RunTask, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

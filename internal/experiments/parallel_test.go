@@ -69,6 +69,35 @@ func TestRunParallelRunsEveryTask(t *testing.T) {
 	}
 }
 
+func TestWorkerBudget(t *testing.T) {
+	cases := []struct {
+		budget, tasks        int
+		wantOuter, wantInner int
+	}{
+		{8, 8, 8, 1},  // wide sweep: saturate with whole runs
+		{8, 16, 8, 1}, // more tasks than cores
+		{8, 3, 3, 2},  // spare cores go to the movement phase
+		{8, 1, 1, 8},  // single run gets the whole budget
+		{1, 5, 1, 1},  // fully sequential
+		{7, 2, 2, 3},  // non-divisible budget rounds down
+		{4, 0, 1, 4},  // degenerate task count clamps to 1
+	}
+	for _, c := range cases {
+		outer, inner := WorkerBudget(c.budget, c.tasks)
+		if outer != c.wantOuter || inner != c.wantInner {
+			t.Errorf("WorkerBudget(%d, %d) = (%d, %d), want (%d, %d)",
+				c.budget, c.tasks, outer, inner, c.wantOuter, c.wantInner)
+		}
+		if outer*inner > c.budget {
+			t.Errorf("WorkerBudget(%d, %d) oversubscribes: %d×%d > budget",
+				c.budget, c.tasks, outer, inner)
+		}
+	}
+	if outer, inner := WorkerBudget(0, 4); outer < 1 || inner < 1 {
+		t.Errorf("WorkerBudget(0, 4) = (%d, %d); zero budget must fall back to GOMAXPROCS", outer, inner)
+	}
+}
+
 func TestSweepSeedDerivation(t *testing.T) {
 	opts := Options{Seed: 5}
 	s0 := sweepSeed(1, opts, 0)

@@ -37,6 +37,7 @@ func UncertainQuality(r Region, a Area, opts Options) (UncertainQualityResult, e
 	cfg := ScaleHosts(ScaleDuration(BaseConfig(r, a), opts.DurationScale), opts.HostScale)
 	cfg.AcceptUncertain = true
 	cfg.Seed += opts.Seed
+	_, cfg.Workers = opts.workerSplit(1)
 	w, err := sim.New(cfg)
 	if err != nil {
 		return UncertainQualityResult{}, err
@@ -85,6 +86,13 @@ func UncertainQuality(r Region, a Area, opts Options) (UncertainQualityResult, e
 // area, fanning the independent simulations across opts.Workers. Results are
 // returned in Regions order regardless of scheduling.
 func UncertainQualityAll(a Area, opts Options) ([]UncertainQualityResult, error) {
+	opts = opts.normalize()
+	outer, inner := opts.workerSplit(len(Regions))
+	if opts.WorldWorkers == 0 {
+		// Pin the derived split so each region's UncertainQuality call does
+		// not re-derive a budget that assumes it runs alone.
+		opts.WorldWorkers = inner
+	}
 	out := make([]UncertainQualityResult, len(Regions))
 	tasks := make([]RunTask, len(Regions))
 	for i, r := range Regions {
@@ -98,7 +106,7 @@ func UncertainQualityAll(a Area, opts Options) ([]UncertainQualityResult, error)
 			return nil
 		}
 	}
-	if err := RunParallel(tasks, opts.normalize().Workers); err != nil {
+	if err := RunParallel(tasks, outer); err != nil {
 		return nil, err
 	}
 	return out, nil

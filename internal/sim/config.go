@@ -94,6 +94,13 @@ type Config struct {
 	// with the given window length in seconds (including the warm-up
 	// phase), retrievable via World.Series after Run.
 	SeriesWindow float64
+	// Workers is the number of goroutines the movement phase of World.Run
+	// shards the host population across — the intra-world level of the
+	// two-level parallelism model (EXPERIMENTS.md); the outer level fans
+	// whole simulations via experiments.RunParallel. 0 or 1 advances hosts
+	// on the coordinating goroutine. Every worker count produces
+	// bit-identical simulation output; only wall-clock time changes.
+	Workers int
 	// Seed makes runs reproducible.
 	Seed int64
 }
@@ -161,6 +168,9 @@ func (c Config) Validate() (Config, error) {
 		if min := 4 * c.RoadSpacing; c.TripRadius < min {
 			c.TripRadius = min
 		}
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("sim: Workers must be >= 0, got %d", c.Workers)
 	}
 	if c.RTreeFanout == 0 {
 		c.RTreeFanout = 30

@@ -4,21 +4,19 @@ import (
 	"repro/internal/geom"
 )
 
-// hostGrid is a uniform-grid spatial index over mobile host positions,
-// giving O(neighborhood) lookups of every host within the wireless
-// transmission range. Cells are sized to the transmission range so a range
-// query touches at most 9 cells.
-type hostGrid struct {
+// cellGeom is the cell math shared by the uniform grids in this package
+// (hostGrid over the mobile hosts, PointGrid over static point sets): a
+// rectangular area cut into nx×ny square cells of the given side length,
+// with positions clamped into the border cells.
+type cellGeom struct {
 	origin geom.Point
 	cell   float64
 	nx, ny int
-	cells  [][]int32 // host indices per cell
-	cellOf []int32   // current cell of each host
 }
 
-// newHostGrid builds an index over bounds for n hosts with the given cell
-// size (normally the transmission range; clamped to keep the table small).
-func newHostGrid(bounds geom.Rect, n int, cell float64) *hostGrid {
+// newCellGeom builds the cell layout for bounds with the requested cell side
+// (normally the transmission range; clamped to keep the table small).
+func newCellGeom(bounds geom.Rect, cell float64) cellGeom {
 	// Clamp on both dimensions: either a wide or a tall area could
 	// otherwise blow up its axis's cell count (the table is nx*ny).
 	minCell := bounds.Width() / 512
@@ -31,23 +29,17 @@ func newHostGrid(bounds geom.Rect, n int, cell float64) *hostGrid {
 	if cell <= 0 {
 		cell = 1
 	}
-	nx := int(bounds.Width()/cell) + 1
-	ny := int(bounds.Height()/cell) + 1
-	g := &hostGrid{
+	return cellGeom{
 		origin: bounds.Min,
 		cell:   cell,
-		nx:     nx,
-		ny:     ny,
-		cells:  make([][]int32, nx*ny),
-		cellOf: make([]int32, n),
+		nx:     int(bounds.Width()/cell) + 1,
+		ny:     int(bounds.Height()/cell) + 1,
 	}
-	for i := range g.cellOf {
-		g.cellOf[i] = -1
-	}
-	return g
 }
 
-func (g *hostGrid) cellIndex(p geom.Point) int32 {
+func (g cellGeom) numCells() int { return g.nx * g.ny }
+
+func (g cellGeom) cellIndex(p geom.Point) int32 {
 	cx := int((p.X - g.origin.X) / g.cell)
 	cy := int((p.Y - g.origin.Y) / g.cell)
 	if cx < 0 {
@@ -63,30 +55,9 @@ func (g *hostGrid) cellIndex(p geom.Point) int32 {
 	return int32(cy*g.nx + cx)
 }
 
-// update moves host i to position p, relocating it between cells if needed.
-func (g *hostGrid) update(i int32, p geom.Point) {
-	c := g.cellIndex(p)
-	old := g.cellOf[i]
-	if old == c {
-		return
-	}
-	if old >= 0 {
-		bucket := g.cells[old]
-		for j, h := range bucket {
-			if h == i {
-				bucket[j] = bucket[len(bucket)-1]
-				g.cells[old] = bucket[:len(bucket)-1]
-				break
-			}
-		}
-	}
-	g.cells[c] = append(g.cells[c], i)
-	g.cellOf[i] = c
-}
-
-// forNeighbors invokes fn for every host index whose cell is within range r
-// of p (callers must still distance-filter; the grid over-approximates).
-func (g *hostGrid) forNeighbors(p geom.Point, r float64, fn func(i int32)) {
+// forCells invokes fn for every cell whose square could intersect the disc of
+// radius r around p, in row-major order.
+func (g cellGeom) forCells(p geom.Point, r float64, fn func(c int32)) {
 	reach := int(r/g.cell) + 1
 	cx := int((p.X - g.origin.X) / g.cell)
 	cy := int((p.Y - g.origin.Y) / g.cell)
@@ -100,9 +71,130 @@ func (g *hostGrid) forNeighbors(p geom.Point, r float64, fn func(i int32)) {
 			if x < 0 || x >= g.nx {
 				continue
 			}
-			for _, i := range g.cells[y*g.nx+x] {
+			fn(int32(y*g.nx + x))
+		}
+	}
+}
+
+// hostGrid is a uniform-grid spatial index over mobile host positions,
+// giving O(neighborhood) lookups of every host within the wireless
+// transmission range. Cells are sized to the transmission range so a range
+// query touches at most 9 cells.
+//
+// The index is stored in CSR form — cell c owns entries[start[c]:start[c+1]]
+// — and is recomputed each movement step by a deterministic counting
+// rebuild: every bucket lists its hosts in ascending host index, whatever
+// execution order produced the positions. forNeighbors therefore enumerates
+// a bit-identical sequence for any Config.Workers value, which is what keeps
+// the peer list fed to SortPeersByProximity (and with it every simulation
+// metric) independent of the movement phase's parallelism.
+type hostGrid struct {
+	cellGeom
+	start   []int32 // bucket boundaries, len numCells+1
+	entries []int32 // host indices, ascending within each bucket
+	counts  []int32 // scratch for sequential rebuilds
+}
+
+// newHostGrid builds an index over bounds for n hosts with the given cell
+// size.
+func newHostGrid(bounds geom.Rect, n int, cell float64) *hostGrid {
+	cg := newCellGeom(bounds, cell)
+	return &hostGrid{
+		cellGeom: cg,
+		start:    make([]int32, cg.numCells()+1),
+		entries:  make([]int32, n),
+		counts:   make([]int32, cg.numCells()),
+	}
+}
+
+// rebuild recomputes the whole index from cells[i] = current cell of host i
+// (as returned by cellIndex) with a two-pass counting sort. The parallel
+// movement engine performs the same passes sharded across workers
+// (stepEngine); both produce identical start/entries arrays.
+func (g *hostGrid) rebuild(cells []int32) {
+	for c := range g.counts {
+		g.counts[c] = 0
+	}
+	for _, c := range cells {
+		g.counts[c]++
+	}
+	pos := int32(0)
+	for c, n := range g.counts {
+		g.start[c] = pos
+		g.counts[c] = pos // becomes the placement cursor
+		pos += n
+	}
+	g.start[len(g.start)-1] = pos
+	for i, c := range cells {
+		g.entries[g.counts[c]] = int32(i)
+		g.counts[c]++
+	}
+}
+
+// forNeighbors invokes fn for every host index whose cell is within range r
+// of p (callers must still distance-filter; the grid over-approximates).
+// Enumeration order is deterministic: cells in row-major order, hosts within
+// a cell in ascending index.
+func (g *hostGrid) forNeighbors(p geom.Point, r float64, fn func(i int32)) {
+	g.forCells(p, r, func(c int32) {
+		for _, i := range g.entries[g.start[c]:g.start[c+1]] {
+			fn(i)
+		}
+	})
+}
+
+// PointGrid is an immutable uniform-grid index over a fixed point set, built
+// once with the same cell math and counting layout as the simulator's host
+// grid. The experiments package uses it to bucket the Figure 17 / disk-I/O
+// synthetic peer caches, replacing their O(#caches) per-query scans.
+type PointGrid struct {
+	cellGeom
+	pts     []geom.Point
+	start   []int32
+	entries []int32
+}
+
+// NewPointGrid indexes pts over bounds with the given cell size. The slice
+// is retained; callers must not mutate it afterwards.
+func NewPointGrid(pts []geom.Point, bounds geom.Rect, cell float64) *PointGrid {
+	cg := newCellGeom(bounds, cell)
+	g := &PointGrid{
+		cellGeom: cg,
+		pts:      pts,
+		start:    make([]int32, cg.numCells()+1),
+		entries:  make([]int32, len(pts)),
+	}
+	counts := make([]int32, cg.numCells())
+	cells := make([]int32, len(pts))
+	for i, p := range pts {
+		cells[i] = cg.cellIndex(p)
+		counts[cells[i]]++
+	}
+	pos := int32(0)
+	for c, n := range counts {
+		g.start[c] = pos
+		counts[c] = pos
+		pos += n
+	}
+	g.start[len(g.start)-1] = pos
+	for i, c := range cells {
+		g.entries[counts[c]] = int32(i)
+		counts[c]++
+	}
+	return g
+}
+
+// ForEachWithin invokes fn with the index of every point at distance <= r of
+// p (exact filter, not the grid over-approximation). Enumeration is
+// cell-major with ascending indices inside each cell; callers needing global
+// index order must sort.
+func (g *PointGrid) ForEachWithin(p geom.Point, r float64, fn func(i int32)) {
+	r2 := r * r
+	g.forCells(p, r, func(c int32) {
+		for _, i := range g.entries[g.start[c]:g.start[c+1]] {
+			if p.Dist2(g.pts[i]) <= r2 {
 				fn(i)
 			}
 		}
-	}
+	})
 }

@@ -57,7 +57,8 @@ func TestHostGridClampsBothDimensions(t *testing.T) {
 		t.Errorf("wide area allocated %d cells (%dx%d); clamp failed", cells, g.nx, g.ny)
 	}
 	// The grid must still index and find hosts after clamping.
-	g.update(0, geom.Pt(10, 50))
+	g.rebuild([]int32{g.cellIndex(geom.Pt(10, 50)), g.cellIndex(geom.Pt(20, 60)),
+		g.cellIndex(geom.Pt(30, 70)), g.cellIndex(geom.Pt(40, 80))})
 	found := false
 	g.forNeighbors(geom.Pt(11, 51), 5, func(i int32) { found = found || i == 0 })
 	if !found {

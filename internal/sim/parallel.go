@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/mobility"
+	"repro/internal/spatialnet"
+)
+
+// stepEngine shards the per-step movement phase of World.Run across
+// Config.Workers goroutines. Query execution stays on the coordinating
+// goroutine between steps, so the Poisson event stream is untouched.
+//
+// Determinism: each host's trajectory depends only on its own model state
+// (every model owns a private RNG), so advancing hosts concurrently cannot
+// change where anyone ends up. Grid maintenance is a two-phase counting
+// rebuild: shard s's block inside every cell bucket starts where shard
+// s-1's ends, and each shard places its hosts in ascending index order, so
+// buckets come out sorted by host index for ANY shard layout. forNeighbors
+// enumeration — and with it the peer list every query gathers — is
+// therefore bit-identical whatever the worker count.
+type stepEngine struct {
+	world   *World
+	workers int
+	shards  [][2]int // per-worker [lo,hi) host-index ranges
+	ranges  [][2]int // per-worker [lo,hi) cell ranges for the offset pass
+	newCell []int32  // cell of host i after the advance
+	counts  [][]int32
+	// rangeTotal / rangeStart carry the per-cell-range entry counts through
+	// the tiny sequential prefix between the parallel passes.
+	rangeTotal []int32
+	rangeStart []int32
+}
+
+// splitRange cuts [0,n) into k near-equal contiguous pieces (fewer when
+// n < k; never empty).
+func splitRange(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][2]int, 0, k)
+	lo := 0
+	for s := 0; s < k; s++ {
+		hi := lo + (n-lo)/(k-s)
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+func newStepEngine(w *World, workers int) *stepEngine {
+	n := len(w.hosts)
+	if workers > n {
+		workers = n
+	}
+	e := &stepEngine{
+		world:   w,
+		workers: workers,
+		shards:  splitRange(n, workers),
+		ranges:  splitRange(w.grid.numCells(), workers),
+		newCell: make([]int32, n),
+		counts:  make([][]int32, workers),
+	}
+	for s := range e.counts {
+		e.counts[s] = make([]int32, w.grid.numCells())
+	}
+	e.rangeTotal = make([]int32, len(e.ranges))
+	e.rangeStart = make([]int32, len(e.ranges))
+	return e
+}
+
+// parallel runs fn(s) for s in [0,n) concurrently and waits. n is
+// len(e.shards) for the host passes and len(e.ranges) for the cell passes
+// (the two can differ when hosts or cells are scarcer than workers).
+func (e *stepEngine) parallel(n int, fn func(s int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for s := 0; s < n; s++ {
+		go func(s int) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// step advances every host by dt and rebuilds the host grid.
+func (e *stepEngine) step(dt float64) {
+	w := e.world
+	g := w.grid
+
+	// Phase A — advance each shard's hosts and count cell occupancy.
+	e.parallel(len(e.shards), func(s int) {
+		counts := e.counts[s]
+		for c := range counts {
+			counts[c] = 0
+		}
+		lo, hi := e.shards[s][0], e.shards[s][1]
+		for i := lo; i < hi; i++ {
+			h := w.hosts[i]
+			h.pos = h.model.Advance(dt)
+			c := g.cellIndex(h.pos)
+			e.newCell[i] = c
+			counts[c]++
+		}
+	})
+
+	// Phase B — turn counts into bucket starts and per-shard placement
+	// cursors. B1 totals each worker's cell range; a tiny sequential prefix
+	// over the O(workers) totals seeds B2, which lays out the cells of each
+	// range: bucket c holds shard 0's block, then shard 1's, and so on.
+	e.parallel(len(e.ranges), func(s int) {
+		lo, hi := e.ranges[s][0], e.ranges[s][1]
+		var tot int32
+		for c := lo; c < hi; c++ {
+			for _, counts := range e.counts {
+				tot += counts[c]
+			}
+		}
+		e.rangeTotal[s] = tot
+	})
+	pos := int32(0)
+	for s := range e.rangeTotal {
+		e.rangeStart[s] = pos
+		pos += e.rangeTotal[s]
+	}
+	e.parallel(len(e.ranges), func(s int) {
+		lo, hi := e.ranges[s][0], e.ranges[s][1]
+		pos := e.rangeStart[s]
+		for c := lo; c < hi; c++ {
+			g.start[c] = pos
+			for _, counts := range e.counts {
+				n := counts[c]
+				counts[c] = pos
+				pos += n
+			}
+		}
+	})
+	g.start[len(g.start)-1] = int32(len(w.hosts))
+
+	// Phase C — place each shard's hosts at its cursors, in index order.
+	e.parallel(len(e.shards), func(s int) {
+		counts := e.counts[s]
+		lo, hi := e.shards[s][0], e.shards[s][1]
+		for i := lo; i < hi; i++ {
+			c := e.newCell[i]
+			g.entries[counts[c]] = int32(i)
+			counts[c]++
+		}
+	})
+}
+
+// initEngine arms (or disarms) the parallel movement engine for the given
+// worker count and, in road mode, gives every shard a private route planner:
+// a PathFinder is scratch state that is not safe for concurrent use, but the
+// paths it returns are a pure function of the graph, so trajectories do not
+// depend on which finder a host holds.
+func (w *World) initEngine(workers int) {
+	if workers > len(w.hosts) {
+		workers = len(w.hosts)
+	}
+	if workers <= 1 {
+		w.engine = nil
+		return
+	}
+	w.engine = newStepEngine(w, workers)
+	if w.roads == nil {
+		return
+	}
+	for _, sh := range w.engine.shards {
+		finder := spatialnet.NewPathFinder(w.roads)
+		for i := sh[0]; i < sh[1]; i++ {
+			if rm, ok := w.hosts[i].model.(*mobility.RoadNetwork); ok {
+				rm.SetFinder(finder)
+			}
+		}
+	}
+}
+
+// advanceMovement runs one movement step: every host's mobility model, then
+// the deterministic index-ordered grid rebuild.
+func (w *World) advanceMovement(dt float64) {
+	if w.engine != nil {
+		w.engine.step(dt)
+		return
+	}
+	for i, h := range w.hosts {
+		h.pos = h.model.Advance(dt)
+		w.cellBuf[i] = w.grid.cellIndex(h.pos)
+	}
+	w.grid.rebuild(w.cellBuf)
+}

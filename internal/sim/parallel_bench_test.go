@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchWorld is the Table 4 Los Angeles population (121,500 hosts over
+// 30×30 mi) — the heaviest movement phase in the figure suite and the
+// configuration the ISSUE's speedup target is stated against. The world is
+// built once and shared: advanceMovement mutates only host positions and the
+// grid, so successive measurements stay representative, and initEngine can
+// re-shard the same population between sub-benchmarks.
+var benchWorld = struct {
+	once sync.Once
+	w    *World
+	err  error
+}{}
+
+func benchStepWorld(b *testing.B) *World {
+	benchWorld.once.Do(func() {
+		const mile = 1609.344
+		cfg := Config{
+			AreaWidth: 30 * mile, AreaHeight: 30 * mile,
+			NumPOIs:          4050,
+			NumHosts:         121500,
+			CacheSize:        20,
+			MovePercentage:   0.80,
+			Velocity:         13.4112, // 30 mph
+			QueriesPerMinute: 8100,
+			TxRange:          200,
+			KMin:             3, KMax: 7,
+			Duration: 5 * 3600,
+			Mode:     ModeRoadNetwork,
+			MaxPause: 30,
+			Seed:     1,
+		}
+		benchWorld.w, benchWorld.err = New(cfg)
+	})
+	if benchWorld.err != nil {
+		b.Fatal(benchWorld.err)
+	}
+	return benchWorld.w
+}
+
+// BenchmarkWorldStep measures one movement step (advance every mobility
+// model + rebuild the host grid) at several intra-world worker counts. The
+// output is bit-identical across counts (TestWorldParallelDeterminism); the
+// CI bench job gates the workers=1 vs workers=8 ratio.
+func BenchmarkWorldStep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			w := benchStepWorld(b)
+			w.initEngine(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.advanceMovement(w.cfg.StepSeconds)
+			}
+		})
+	}
+}

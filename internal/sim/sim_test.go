@@ -99,15 +99,22 @@ func TestHostGrid(t *testing.T) {
 	g := newHostGrid(bounds, 100, 100)
 	rng := rand.New(rand.NewSource(2))
 	pos := make([]geom.Point, 100)
+	cells := make([]int32, 100)
+	reindex := func() {
+		for i, p := range pos {
+			cells[i] = g.cellIndex(p)
+		}
+		g.rebuild(cells)
+	}
 	for i := range pos {
 		pos[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
-		g.update(int32(i), pos[i])
 	}
-	// Move half of them.
+	reindex()
+	// Move half of them and rebuild, as a movement step does.
 	for i := 0; i < 50; i++ {
 		pos[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
-		g.update(int32(i), pos[i])
 	}
+	reindex()
 	// Range query vs brute force from several centers.
 	for trial := 0; trial < 50; trial++ {
 		q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)

@@ -29,6 +29,12 @@ type World struct {
 	grid   *hostGrid
 	roads  *spatialnet.Graph // nil in free-movement mode
 
+	// engine shards the movement phase across Config.Workers goroutines;
+	// nil when the movement phase runs on the coordinating goroutine.
+	// cellBuf is the sequential path's per-host cell scratch.
+	engine  *stepEngine
+	cellBuf []int32
+
 	now         float64
 	nextQueryAt float64
 	recording   bool
@@ -130,8 +136,13 @@ func New(cfg Config) (*World, error) {
 		}
 		h := &host{model: model, cache: cache.New(cfg.CacheSize), pos: model.Pos()}
 		w.hosts[i] = h
-		w.grid.update(int32(i), h.pos)
 	}
+	w.cellBuf = make([]int32, cfg.NumHosts)
+	for i, h := range w.hosts {
+		w.cellBuf[i] = w.grid.cellIndex(h.pos)
+	}
+	w.grid.rebuild(w.cellBuf)
+	w.initEngine(cfg.Workers)
 	if cfg.SeriesWindow > 0 {
 		w.series = newSeriesRecorder(cfg.SeriesWindow)
 	}
@@ -182,12 +193,9 @@ func (w *World) Run() Metrics {
 			w.executeQuery()
 			w.scheduleNextQuery()
 		}
-		// Advance movement.
-		step := stepEnd - w.now
-		for i, h := range w.hosts {
-			h.pos = h.model.Advance(step)
-			w.grid.update(int32(i), h.pos)
-		}
+		// Advance movement (sharded across Config.Workers goroutines when
+		// configured; output is bit-identical for any worker count).
+		w.advanceMovement(stepEnd - w.now)
 		w.now = stepEnd
 	}
 	w.metrics.MeasuredSeconds = w.cfg.Duration - warmupEnd
