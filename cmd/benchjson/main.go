@@ -17,6 +17,12 @@
 // noted but never fail, so adding or removing benchmarks does not require a
 // lockstep baseline update. -update rewrites the baseline from the current
 // run instead of gating.
+//
+// Every -minspeedup ratio is also recorded in the output document's
+// "speedups" section (e.g. the WorldStep workers=8/workers=1 ratio in
+// BENCH_ci.json). The ratio is machine-speed independent, so it is the
+// number to trust when comparing CI runs from heterogeneous runners, where
+// absolute ns/op gates need per-runner baselines.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -41,10 +48,22 @@ type Benchmark struct {
 	AllocsOp float64 `json:"allocs_per_op,omitempty"`
 }
 
+// Speedup is one measured parallel-speedup ratio, recorded in the JSON
+// document so the CI artifact carries the workers=8/workers=1 ratio
+// explicitly. Unlike absolute ns/op, the ratio is comparable across
+// runners of different speeds, which is what makes it the sturdier gate.
+type Speedup struct {
+	Slow     string  `json:"slow"`
+	Fast     string  `json:"fast"`
+	Ratio    float64 `json:"ratio"`     // slow ns/op ÷ fast ns/op
+	MinRatio float64 `json:"min_ratio"` // required by the -minspeedup gate
+}
+
 // Document is the BENCH_ci.json layout. Benchmarks are sorted by name so
 // regenerated files are byte-diffable.
 type Document struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
 }
 
 func main() {
@@ -83,6 +102,14 @@ func run(in, out, baseline string, tolerance float64, update bool, speedups []st
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found in input")
 	}
+	// Resolve the speedup ratios into the document before writing it, so
+	// the uploaded artifact records the measured ratio even when the gate
+	// below fails the job.
+	for _, spec := range speedups {
+		if err := addSpeedup(&doc, spec); err != nil {
+			return err
+		}
+	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -95,10 +122,8 @@ func run(in, out, baseline string, tolerance float64, update bool, speedups []st
 		return err
 	}
 
-	for _, spec := range speedups {
-		if err := checkSpeedup(doc, spec); err != nil {
-			return err
-		}
+	if err := gateSpeedups(os.Stderr, doc); err != nil {
+		return err
 	}
 
 	if baseline == "" {
@@ -231,8 +256,9 @@ func Gate(w io.Writer, doc, base Document, tolerance float64) error {
 	return nil
 }
 
-// checkSpeedup enforces one 'slow:fast:ratio' requirement against doc.
-func checkSpeedup(doc Document, spec string) error {
+// addSpeedup resolves one 'slow:fast:ratio' spec against the parsed
+// benchmarks and records the measured ratio in doc.Speedups.
+func addSpeedup(doc *Document, spec string) error {
 	parts := strings.Split(spec, ":")
 	if len(parts) != 3 {
 		return fmt.Errorf("bad -minspeedup %q: want 'slowName:fastName:minRatio'", spec)
@@ -257,11 +283,25 @@ func checkSpeedup(doc Document, spec string) error {
 	if err != nil {
 		return err
 	}
-	got := slow.NsPerOp / fast.NsPerOp
-	fmt.Fprintf(os.Stderr, "benchjson: speedup %s -> %s = %.2fx (want >= %.2fx)\n",
-		parts[0], parts[1], got, want)
-	if got < want {
-		return fmt.Errorf("speedup %s -> %s is %.2fx, want >= %.2fx", parts[0], parts[1], got, want)
+	doc.Speedups = append(doc.Speedups, Speedup{
+		Slow:     slow.Name,
+		Fast:     fast.Name,
+		Ratio:    math.Round(slow.NsPerOp/fast.NsPerOp*10000) / 10000,
+		MinRatio: want,
+	})
+	return nil
+}
+
+// gateSpeedups enforces every recorded speedup requirement, printing each
+// measured ratio to w.
+func gateSpeedups(w io.Writer, doc Document) error {
+	for _, s := range doc.Speedups {
+		fmt.Fprintf(w, "benchjson: speedup %s -> %s = %.2fx (want >= %.2fx)\n",
+			s.Slow, s.Fast, s.Ratio, s.MinRatio)
+		if s.Ratio < s.MinRatio {
+			return fmt.Errorf("speedup %s -> %s is %.2fx, want >= %.2fx",
+				s.Slow, s.Fast, s.Ratio, s.MinRatio)
+		}
 	}
 	return nil
 }

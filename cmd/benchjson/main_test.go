@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"strings"
 	"testing"
@@ -68,18 +69,47 @@ func TestGate(t *testing.T) {
 	}
 }
 
-func TestCheckSpeedup(t *testing.T) {
+func TestSpeedupRecordingAndGate(t *testing.T) {
 	doc := Document{Benchmarks: []Benchmark{
 		{Name: "WorldStep/workers=1", NsPerOp: 100},
 		{Name: "WorldStep/workers=8", NsPerOp: 40},
 	}}
-	if err := checkSpeedup(doc, "WorldStep/workers=1:WorldStep/workers=8:2.0"); err != nil {
+	if err := addSpeedup(&doc, "WorldStep/workers=1:WorldStep/workers=8:2.0"); err != nil {
+		t.Fatalf("addSpeedup: %v", err)
+	}
+	if len(doc.Speedups) != 1 {
+		t.Fatalf("got %d speedups, want 1", len(doc.Speedups))
+	}
+	s := doc.Speedups[0]
+	if s.Slow != "WorldStep/workers=1" || s.Fast != "WorldStep/workers=8" ||
+		s.Ratio != 2.5 || s.MinRatio != 2.0 {
+		t.Errorf("recorded speedup = %+v, want 2.5x over a 2.0x floor", s)
+	}
+	if err := gateSpeedups(io.Discard, doc); err != nil {
 		t.Errorf("2.5x speedup failed a 2.0x requirement: %v", err)
 	}
-	if err := checkSpeedup(doc, "WorldStep/workers=1:WorldStep/workers=8:3.0"); err == nil {
+
+	// The ratio must land in the JSON document (the CI artifact), not just
+	// the gate's stderr.
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"speedups"`) || !strings.Contains(string(data), `"ratio":2.5`) {
+		t.Errorf("speedup ratio missing from JSON document: %s", data)
+	}
+
+	if err := addSpeedup(&doc, "WorldStep/workers=1:WorldStep/workers=8:3.0"); err != nil {
+		t.Fatalf("addSpeedup: %v", err)
+	}
+	if err := gateSpeedups(io.Discard, doc); err == nil {
 		t.Error("2.5x speedup passed a 3.0x requirement")
 	}
-	if err := checkSpeedup(doc, "nope"); err == nil {
+
+	if err := addSpeedup(&doc, "nope"); err == nil {
 		t.Error("malformed spec accepted")
+	}
+	if err := addSpeedup(&doc, "WorldStep/workers=1:Missing:2.0"); err == nil {
+		t.Error("spec naming an absent benchmark accepted")
 	}
 }

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// CounterAtomic flags plain (non-atomic) accesses to variables and struct
+// fields that are elsewhere in the package accessed through sync/atomic
+// functions. Mixing the two is a data race: the atomic access promises
+// other goroutines are touching the location concurrently, so every other
+// read, write, and ++ on it must go through sync/atomic too. This is
+// exactly the MemPager read-counter bug fixed in PR 1 — a counter
+// incremented with atomic.AddInt64 from worker goroutines but read with a
+// plain load in the stats path — generalized into a compile-time check.
+// (Counters migrated to the atomic.Int64 type family are immune by
+// construction: the type has no non-atomic accessors.)
+var CounterAtomic = &Analyzer{
+	Name: "counteratomic",
+	Doc:  "flags plain reads/writes of counters that are elsewhere accessed via sync/atomic",
+	Run:  runCounterAtomic,
+}
+
+func runCounterAtomic(pass *Pass) error {
+	// Pass 1: find every &x / &x.f handed to a sync/atomic operation.
+	// atomicOperands records the object; blessed records the exact AST
+	// nodes inside those calls so pass 2 does not flag them.
+	atomicOperands := make(map[types.Object]token.Position)
+	blessed := make(map[ast.Node]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := arg.(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				obj := referencedObj(pass, unary.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicOperands[obj]; !seen {
+					atomicOperands[obj] = pass.Fset.Position(call.Pos())
+				}
+				blessed[unary.X] = true
+			}
+			return true
+		})
+	}
+	if len(atomicOperands) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other reference to those objects is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if blessed[n] {
+				return false // the &x.f inside the atomic call itself
+			}
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := referencedObj(pass, n)
+				if obj == nil {
+					return true
+				}
+				if first, ok := atomicOperands[obj]; ok {
+					pass.Reportf(n.Pos(),
+						"plain access to %s, which is accessed via sync/atomic at %s; mixed atomic/plain access is a data race — use sync/atomic here too (or migrate the field to atomic.Int64)",
+						obj.Name(), shortPos(first))
+					return false // don't re-report the embedded ident
+				}
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[n]
+				if obj == nil {
+					return true
+				}
+				if first, ok := atomicOperands[obj]; ok {
+					pass.Reportf(n.Pos(),
+						"plain access to %s, which is accessed via sync/atomic at %s; mixed atomic/plain access is a data race — use sync/atomic here too (or migrate the variable to atomic.Int64)",
+						obj.Name(), shortPos(first))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// operation (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// referencedObj resolves the variable or field object named by e (an Ident
+// or a SelectorExpr field selection).
+func referencedObj(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+func shortPos(p token.Position) string {
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags `==` and `!=` between floating-point operands in the
+// geometry predicates. The geom package's contract is that every predicate
+// tolerates float64 noise via the package Eps (see geom.Eps): a raw
+// equality there either never fires (post-arithmetic values) or encodes a
+// hidden exactness assumption that breaks under reordered parallel
+// arithmetic. Files that intentionally implement exact-arithmetic
+// comparisons declare it with a //simvet:exact file comment and are
+// exempt. The NaN self-comparison idiom (x != x) is recognized and
+// allowed.
+var FloatEq = &Analyzer{
+	Name:  "floateq",
+	Doc:   "flags ==/!= between floating-point operands in geometry predicates outside //simvet:exact files",
+	Scope: []string{"repro/internal/geom"},
+	Run:   runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.FileExempt(file.Package, "exact") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, bin.X) || !isFloat(pass, bin.Y) {
+				return true
+			}
+			// x != x is the portable NaN test; identical operands cannot
+			// express a tolerance bug.
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"floating-point %s comparison in a geometry predicate; compare against geom.Eps (or mark the file //simvet:exact if it implements exact arithmetic)",
+				bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand enforces the per-shard RNG contract from the parallel movement
+// engine: every random stream must be owned by exactly one goroutine and
+// seeded deterministically. Two violation shapes are reported:
+//
+//  1. Calls to math/rand (or math/rand/v2) package-level functions that
+//     draw from the process-global source — rand.Intn, rand.Float64,
+//     rand.Seed, rand.Perm, rand.Shuffle, … . The global source is both
+//     seeded nondeterministically and shared by every goroutine, so a
+//     single call anywhere on the simulation path breaks bit-identical
+//     replay. Constructors (rand.New, rand.NewSource, rand.NewPCG, …)
+//     are fine: they build the per-shard generators the contract wants.
+//
+//  2. Package-level variables whose type is rand.Rand or *rand.Rand. A
+//     package-global generator is reachable from every movement-shard
+//     goroutine at once, which is a data race (rand.Rand is not
+//     goroutine-safe) and an ordering hazard even when mutex-guarded —
+//     the draw sequence then depends on shard scheduling. This is the
+//     static approximation of "a *rand.Rand reachable from more than one
+//     shard": generators must be locals, struct fields owned by one
+//     shard, or function parameters.
+var GlobalRand = &Analyzer{
+	Name:  "globalrand",
+	Doc:   "flags math/rand global-source functions and package-level rand.Rand values in deterministic packages (per-shard RNGs are the parallel-engine contract)",
+	Scope: DeterministicPackages,
+	Run:   runGlobalRand,
+}
+
+// globalSourceFuncs are the math/rand package-level functions backed by the
+// shared global source. Constructors are deliberately absent.
+var globalSourceFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runGlobalRand(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkgIdent, ok := n.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+				if !ok || !isRandPkg(pkgName.Imported().Path()) {
+					return true
+				}
+				if globalSourceFuncs[n.Sel.Name] {
+					pass.Reportf(n.Pos(),
+						"%s.%s draws from the process-global rand source; use the per-shard *rand.Rand (rand.New(rand.NewSource(seed)))",
+						pkgIdent.Name, n.Sel.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pass.TypesInfo.Defs[name]
+						v, ok := obj.(*types.Var)
+						if !ok || v.Parent() != pass.Pkg.Scope() {
+							continue // not package-level
+						}
+						if isRandType(v.Type()) {
+							pass.Reportf(name.Pos(),
+								"package-level %s %s is reachable from every movement-shard goroutine; rand.Rand is not goroutine-safe and shared draw order is nondeterministic — make it per-shard state",
+								name.Name, types.TypeString(v.Type(), types.RelativeTo(pass.Pkg)))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRandType reports whether t is rand.Rand or *rand.Rand (from either
+// math/rand generation).
+func isRandType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rand" && obj.Pkg() != nil && isRandPkg(obj.Pkg().Path())
+}

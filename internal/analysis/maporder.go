@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map inside the deterministic packages. Go
+// randomizes map iteration order per run, so any map range whose effect
+// depends on visit order makes simulation output differ between otherwise
+// identical runs — the exact class of bug the CI byte-diff gate exists to
+// catch, surfaced here at lint time instead.
+//
+// Two shapes are recognized as safe and not reported:
+//
+//  1. Collect-then-sort: every statement in the loop body appends to local
+//     slices (guards via if/continue are fine), and each such slice is
+//     passed to a sort.* or slices.Sort* call later in the same function.
+//     The sort erases the iteration order, provided its comparator is a
+//     total order — ties broken nondeterministically are still a bug, which
+//     is why comparators over map-derived slices must break ties on a
+//     unique key.
+//
+//  2. An explicit `//simvet:ordered` annotation on the range statement (or
+//     the line above it), declaring the iteration order-insensitive after
+//     human review — e.g. independent per-entry mutation, or a
+//     commutative integer reduction.
+var MapOrder = &Analyzer{
+	Name:  "maporder",
+	Doc:   "flags range over a map in deterministic packages unless the iteration provably feeds a sort or carries a //simvet:ordered review annotation",
+	Scope: DeterministicPackages,
+	Run:   runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, _ := decl.(*ast.FuncDecl) // nil for non-func decls: no sort exemption there
+			ast.Inspect(decl, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if pass.Annotated(rng.Pos(), "ordered") {
+					return true
+				}
+				if feedsSort(pass, rng, fn) {
+					return true
+				}
+				pass.Reportf(rng.Pos(),
+					"range over map %s in a deterministic package: iteration order is randomized; sort the keys, use a slice-backed structure, or annotate //simvet:ordered after review",
+					typeString(pass, rng.X))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func typeString(pass *Pass, e ast.Expr) string {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return types.TypeString(tv.Type, types.RelativeTo(pass.Pkg))
+	}
+	return "<unknown>"
+}
+
+// feedsSort reports whether rng is a collect-then-sort loop: its body only
+// appends to local slices (possibly under if-guards), and every appended
+// slice is sorted later in fn.
+func feedsSort(pass *Pass, rng *ast.RangeStmt, fn *ast.FuncDecl) bool {
+	if fn == nil || fn.Body == nil {
+		return false
+	}
+	appended := make(map[types.Object]bool)
+	if !collectOnlyAppends(pass, rng.Body.List, appended) || len(appended) == 0 {
+		return false
+	}
+	for obj := range appended {
+		if !sortedAfter(pass, fn, rng.End(), obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectOnlyAppends walks loop-body statements and records the local slice
+// variables they append to. It returns false if any statement could leak
+// iteration order some other way.
+func collectOnlyAppends(pass *Pass, stmts []ast.Stmt, appended map[types.Object]bool) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			// Only the canonical x = append(x, ...) form qualifies.
+			if s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			lhs, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "append" || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+				return false
+			}
+			arg0, ok := call.Args[0].(*ast.Ident)
+			if !ok || arg0.Name != lhs.Name {
+				return false
+			}
+			obj := pass.TypesInfo.Uses[lhs]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[lhs]
+			}
+			if obj == nil {
+				return false
+			}
+			appended[obj] = true
+		case *ast.IfStmt:
+			if s.Init != nil {
+				if _, ok := s.Init.(*ast.AssignStmt); !ok {
+					return false
+				}
+			}
+			if !collectOnlyAppends(pass, s.Body.List, appended) {
+				return false
+			}
+			if s.Else != nil {
+				block, ok := s.Else.(*ast.BlockStmt)
+				if !ok || !collectOnlyAppends(pass, block.List, appended) {
+					return false
+				}
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether obj is the subject of a sort.*/slices.Sort*
+// call positioned after pos inside fn.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,40 @@
+// Package counteratomic is the fixture for the counteratomic analyzer:
+// any plain access to a location that is elsewhere touched through
+// sync/atomic must be flagged (the MemPager read-counter bug class);
+// consistently-plain and consistently-atomic counters stay silent.
+package counteratomic
+
+import "sync/atomic"
+
+type pager struct {
+	reads int64
+	hits  int64 // only ever touched single-threaded: silent
+}
+
+func (p *pager) read() {
+	atomic.AddInt64(&p.reads, 1) // the atomic access itself: silent
+	p.hits++
+}
+
+func (p *pager) stats() int64 {
+	return p.reads // want `plain access to reads`
+}
+
+func (p *pager) reset() {
+	p.reads = 0 // want `plain access to reads`
+	p.hits = 0
+}
+
+var ops int64
+
+func bump() {
+	atomic.AddInt64(&ops, 1)
+}
+
+func total() int64 {
+	return ops // want `plain access to ops`
+}
+
+func loadOps() int64 {
+	return atomic.LoadInt64(&ops) // atomic read: silent
+}

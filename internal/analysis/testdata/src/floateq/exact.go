@@ -1,0 +1,17 @@
+// This file stands in for an exact-arithmetic comparison module: every
+// operation below is exact in IEEE-754 (sign tests, comparisons of values
+// produced without rounding), so raw equality is the correct tool and the
+// file opts out of floateq.
+//
+//simvet:exact — implements exact-arithmetic comparisons
+package floateq
+
+func exactSign(x float64) int {
+	if x == 0 { // exempt file: silent
+		return 0
+	}
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

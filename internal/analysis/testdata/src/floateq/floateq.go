@@ -1,0 +1,34 @@
+// Package floateq is the fixture for the floateq analyzer: raw float
+// equality in predicates must be flagged; Eps-tolerant comparisons, the
+// NaN self-test idiom, and integer equality stay silent.
+package floateq
+
+const eps = 1e-9
+
+func coincide(x, y float64) bool {
+	return x == y // want `floating-point == comparison`
+}
+
+func distinct(x, y float64) bool {
+	return x != y // want `floating-point != comparison`
+}
+
+func degenerate(denom float64) bool {
+	return denom == 0 // want `floating-point == comparison`
+}
+
+func isNaN(x float64) bool {
+	return x != x // NaN self-comparison idiom: silent
+}
+
+func tolerant(x, y float64) bool {
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps // tolerance compare, not equality: silent
+}
+
+func intEq(a, b int) bool {
+	return a == b // integers are exact: silent
+}

@@ -1,0 +1,34 @@
+// Package globalrand is the fixture for the globalrand analyzer: draws
+// from the process-global math/rand source and package-level rand.Rand
+// values must be flagged; deterministic per-shard construction stays
+// silent.
+package globalrand
+
+import "math/rand"
+
+var sharedRNG = rand.New(rand.NewSource(1)) // want `package-level sharedRNG`
+
+var sharedValue rand.Rand // want `package-level sharedValue`
+
+var seedCounter int64 // a plain package var: silent
+
+func drawGlobal() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global rand source`
+}
+
+func permGlobal(n int) []int {
+	return rand.Perm(n) // want `rand\.Perm`
+}
+
+func reseed() {
+	rand.Seed(42) // want `rand\.Seed`
+}
+
+func perShard(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors build per-shard state: silent
+	return rng.Float64()                  // method on a local generator: silent
+}
+
+func fromParam(rng *rand.Rand) int {
+	return rng.Intn(10) // method on an owned generator: silent
+}

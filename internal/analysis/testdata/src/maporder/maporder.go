@@ -1,0 +1,71 @@
+// Package maporder is the fixture for the maporder analyzer: map ranges
+// whose effect depends on iteration order must be flagged; collect-then-sort
+// loops and //simvet:ordered-reviewed loops must stay silent.
+package maporder
+
+import "sort"
+
+type host struct{ id int64 }
+
+func concatKeys(m map[string]int) string {
+	out := ""
+	for k := range m { // want `range over map`
+		out += k
+	}
+	return out
+}
+
+func appendWithoutSort(m map[string]int) []string {
+	keys := []string{}
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSort(m map[int64]float64) []float64 {
+	nds := make([]float64, 0, len(m))
+	for _, nd := range m { // collect-then-sort: silent
+		nds = append(nds, nd)
+	}
+	sort.Float64s(nds)
+	return nds
+}
+
+func guardedCollectThenSort(m map[int64]host) []host {
+	var out []host
+	for _, h := range m { // if-guarded collect-then-sort: silent
+		if h.id >= 0 {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func annotatedAbove(m map[int64]int) int {
+	n := 0
+	//simvet:ordered — counting entries is order-free
+	for range m {
+		n++
+	}
+	return n
+}
+
+func annotatedSameLine(m map[int64]int) int {
+	best := 0
+	for _, v := range m { //simvet:ordered — max is commutative
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func sliceRange(xs []int) int {
+	n := 0
+	for _, v := range xs { // slices iterate in order: silent
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,25 @@
+// Package walltime is the fixture for the walltime analyzer: wall-clock
+// reads and sleeps must be flagged inside simulation code; virtual-time
+// arithmetic on time.Duration values stays silent.
+package walltime
+
+import "time"
+
+type metrics struct {
+	elapsed time.Duration
+	stamp   time.Time
+}
+
+func step(m *metrics) {
+	m.stamp = time.Now()            // want `time\.Now`
+	m.elapsed = time.Since(m.stamp) // want `time\.Since`
+	time.Sleep(time.Millisecond)    // want `time\.Sleep`
+}
+
+func virtualClock(step int, dt time.Duration) time.Duration {
+	return time.Duration(step) * dt // duration arithmetic: silent
+}
+
+func formatStep(d time.Duration) string {
+	return d.Round(time.Millisecond).String() // time constants/methods: silent
+}

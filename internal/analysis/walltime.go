@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime flags reads of the wall clock inside simulation and metrics
+// code. The simulator's only clock is virtual step time (step index × dt):
+// results, series, and metrics must be functions of the scenario and the
+// seed alone. time.Now/time.Since smuggle host load and scheduling into
+// the output; time.Sleep couples simulated behavior to real scheduling
+// (and is a determinism *and* a throughput bug inside a shard). Wall-clock
+// measurement belongs in benchmarks and cmd/ harnesses, which are outside
+// this analyzer's scope.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "flags time.Now/time.Since/time.Sleep in simulation and metrics code, where virtual step time is the only clock",
+	Scope: []string{
+		"repro/internal/sim",
+		"repro/internal/core",
+		"repro/internal/experiments",
+	},
+	Run: runWallTime,
+}
+
+var wallClockFuncs = map[string]string{
+	"Now":   "read the wall clock",
+	"Since": "measure wall-clock elapsed time",
+	"Sleep": "block on the wall clock",
+}
+
+func runWallTime(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			what, bad := wallClockFuncs[sel.Sel.Name]
+			if !bad {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s would %s inside simulation code; the simulator's only clock is virtual step time (step × dt)",
+				sel.Sel.Name, what)
+			return true
+		})
+	}
+	return nil
+}

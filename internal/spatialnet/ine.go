@@ -60,9 +60,15 @@ func NewPOIIndex(g *Graph, pois []core.POI) *POIIndex {
 		idx.perEdge[key] = append(idx.perEdge[key], snappedPOI{poi: p, t: t, off: snap.SnapDist})
 		idx.n++
 	}
+	//simvet:ordered — each entry is sorted in place independently; no state crosses iterations
 	for key := range idx.perEdge {
 		ps := idx.perEdge[key]
-		sort.Slice(ps, func(i, j int) bool { return ps[i].t < ps[j].t })
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].t != ps[j].t {
+				return ps[i].t < ps[j].t
+			}
+			return ps[i].poi.ID < ps[j].poi.ID // total order: co-located POIs enumerate deterministically
+		})
 		idx.perEdge[key] = ps
 	}
 	return idx
@@ -183,7 +189,15 @@ func INE(g *Graph, idx *POIIndex, q geom.Point, k int) []NetworkResult {
 	for _, r := range best {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ND < out[j].ND })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ND != out[j].ND {
+			return out[i].ND < out[j].ND
+		}
+		// out was collected from a map; without a total order, equal-ND
+		// POIs at the k boundary would be kept or dropped by iteration
+		// order — nondeterministic output for one fixed seed.
+		return out[i].POI.ID < out[j].POI.ID
+	})
 	if len(out) > k {
 		out = out[:k]
 	}
