@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -66,6 +68,44 @@ func TestGate(t *testing.T) {
 	bad := Document{Benchmarks: []Benchmark{{Name: "A", NsPerOp: 130}}}
 	if err := Gate(io.Discard, bad, base, 0.20); err == nil {
 		t.Error("+30% regression passed a +20% gate")
+	}
+}
+
+// TestRatioOnlyGating pins the CI gate semantics end to end: an absolute
+// regression against the baseline is informational unless -gate-absolute is
+// set, while a missed -minspeedup ratio always fails.
+func TestRatioOnlyGating(t *testing.T) {
+	dir := t.TempDir()
+	benchTxt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchTxt, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Baseline so fast that every parsed benchmark is a huge "regression".
+	base := Document{Benchmarks: []Benchmark{
+		{Name: "WorldStep/workers=1", NsPerOp: 1},
+		{Name: "WorldStep/workers=8", NsPerOp: 1},
+	}}
+	baseJSON, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(basePath, baseJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.json")
+
+	// sample has workers=1 at 8e7 and workers=8 at 2e7 ns/op: a 4x ratio.
+	okSpeedup := []string{"WorldStep/workers=1:WorldStep/workers=8:2.0"}
+	if err := run(benchTxt, out, basePath, 0.20, false, false, okSpeedup); err != nil {
+		t.Errorf("absolute regression failed a ratio-only run: %v", err)
+	}
+	if err := run(benchTxt, out, basePath, 0.20, true, false, okSpeedup); err == nil {
+		t.Error("-gate-absolute did not fail on a regression beyond tolerance")
+	}
+	badSpeedup := []string{"WorldStep/workers=1:WorldStep/workers=8:9.0"}
+	if err := run(benchTxt, out, basePath, 0.20, false, false, badSpeedup); err == nil {
+		t.Error("missed speedup ratio passed a ratio-only run")
 	}
 }
 

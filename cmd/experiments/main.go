@@ -7,7 +7,8 @@
 //
 //	experiments [-fig 9|10|11|12|13|14|15|16|17|free|uncertain|diskio|all]
 //	            [-scale N] [-queries N] [-area 2mi|30mi] [-chart]
-//	            [-parallel N] [-worldworkers N] [-json dir]
+//	            [-parallel N] [-worldworkers N] [-queryworkers N]
+//	            [-repeats N] [-json dir]
 package main
 
 import (
@@ -32,9 +33,13 @@ func main() {
 		areaSel  = flag.String("area", "", "restrict the free comparison to one area: 2mi or 30mi")
 		chart    = flag.Bool("chart", false, "render ASCII charts next to the numeric tables")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
-			"core budget per figure: concurrent simulation runs × movement workers per run (1 = fully sequential; output is identical either way)")
+			"core budget per figure: concurrent simulation runs × per-run workers (1 = fully sequential; output is identical either way)")
 		worldWorkers = flag.Int("worldworkers", 0,
 			"movement workers inside each simulation (0 = derive from the -parallel budget; output is identical for any value)")
+		queryWorkers = flag.Int("queryworkers", 0,
+			"query-resolve workers inside each simulation (0 = derive from the -parallel budget; output is identical for any value)")
+		repeats = flag.Int("repeats", 0,
+			"independent runs per sweep point, reported as mean ± stddev in the JSON output (0 = runner default: 1 for sweeps, 3 for the free comparison)")
 		jsonDir = flag.String("json", "",
 			"directory to also write machine-readable results into (one JSON file per figure, stable key order)")
 	)
@@ -42,6 +47,7 @@ func main() {
 	opts := experiments.Options{
 		DurationScale: *scale, HostScale: *hostSc, Seed: *seed,
 		Workers: *parallel, WorldWorkers: *worldWorkers,
+		QueryWorkers: *queryWorkers, Repeats: *repeats,
 	}
 	persist := func(err error) {
 		if err != nil {

@@ -22,8 +22,8 @@ func TestMapOrderFixture(t *testing.T) {
 
 func TestGlobalRandFixture(t *testing.T) {
 	diags := analysis.RunWant(t, analysis.GlobalRand, analysis.Fixture(t, "globalrand"))
-	if len(diags) != 5 {
-		t.Errorf("globalrand: got %d diagnostics, want 5", len(diags))
+	if len(diags) != 7 {
+		t.Errorf("globalrand: got %d diagnostics, want 7", len(diags))
 	}
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -25,6 +26,16 @@ import (
 //     static approximation of "a *rand.Rand reachable from more than one
 //     shard": generators must be locals, struct fields owned by one
 //     shard, or function parameters.
+//
+//  3. A rand.Rand struct field selected inside two or more sibling
+//     function literals of the same function, through a variable captured
+//     from outside the literal. Two distinct closures reaching the same
+//     generator is the escape shape the worker-pool code paths produce: if
+//     those closures ever run on separate goroutines the draws race, and
+//     even serialized they interleave the stream nondeterministically. The
+//     legitimate fan-out pattern — one literal invoked once per shard,
+//     each invocation selecting its own per-shard element — uses a single
+//     literal and stays silent.
 var GlobalRand = &Analyzer{
 	Name:  "globalrand",
 	Doc:   "flags math/rand global-source functions and package-level rand.Rand values in deterministic packages (per-shard RNGs are the parallel-engine contract)",
@@ -89,8 +100,107 @@ func runGlobalRand(pass *Pass) error {
 			}
 			return true
 		})
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkSharedRandField(pass, fd.Body)
+			}
+		}
 	}
 	return nil
+}
+
+// checkSharedRandField implements violation shape 3: within one function,
+// collect every rand-typed field selection made inside a function literal
+// whose root variable is captured from outside that literal, keyed by
+// (root variable, field). A key reached from two or more distinct literals
+// is one generator shared between worker closures; every use site is
+// reported.
+func checkSharedRandField(pass *Pass, body *ast.BlockStmt) {
+	type key struct{ root, field types.Object }
+	type use struct {
+		lit *ast.FuncLit
+		sel *ast.SelectorExpr
+	}
+	uses := map[key][]use{}
+
+	var collect func(n ast.Node, lit *ast.FuncLit)
+	collect = func(n ast.Node, lit *ast.FuncLit) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			if fl, ok := m.(*ast.FuncLit); ok {
+				// Uses belong to the innermost enclosing literal.
+				collect(fl.Body, fl)
+				return false
+			}
+			if lit == nil {
+				return true
+			}
+			se, ok := m.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selInfo, ok := pass.TypesInfo.Selections[se]
+			if !ok || selInfo.Kind() != types.FieldVal || !isRandType(selInfo.Obj().Type()) {
+				return true
+			}
+			root := rootIdent(se.X)
+			if root == nil {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[root]
+			if obj == nil || obj.Pos() == token.NoPos {
+				return true
+			}
+			// A root declared inside the literal (including its parameters)
+			// is closure-owned state, not a capture.
+			if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
+				return true
+			}
+			k := key{root: obj, field: selInfo.Obj()}
+			uses[k] = append(uses[k], use{lit: lit, sel: se})
+			return true
+		})
+	}
+	collect(body, nil)
+
+	for k, us := range uses {
+		lits := map[*ast.FuncLit]bool{}
+		for _, u := range us {
+			lits[u.lit] = true
+		}
+		if len(lits) < 2 {
+			continue
+		}
+		for _, u := range us {
+			pass.Reportf(u.sel.Pos(),
+				"rand field %s (via %s) is reachable from %d worker closures; rand.Rand is not goroutine-safe and a shared draw order depends on scheduling — give each closure its own per-shard generator",
+				k.field.Name(), k.root.Name(), len(lits))
+		}
+	}
+}
+
+// rootIdent walks a selector/index chain down to its root identifier,
+// returning nil for roots that are not plain variables (calls, composite
+// literals, …).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
 }
 
 // isRandType reports whether t is rand.Rand or *rand.Rand (from either

@@ -32,3 +32,49 @@ func perShard(seed int64) float64 {
 func fromParam(rng *rand.Rand) int {
 	return rng.Intn(10) // method on an owned generator: silent
 }
+
+// The flow-sensitive escape check (shape 3): one generator field reachable
+// from two sibling worker closures of the same function.
+
+type shardState struct {
+	rng *rand.Rand
+	id  int
+}
+
+func sharedAcrossClosures(s *shardState, run func(func())) {
+	run(func() {
+		_ = s.rng.Intn(10) // want `rand field rng \(via s\) is reachable from 2 worker closures`
+	})
+	run(func() {
+		_ = s.rng.Float64() // want `rand field rng`
+	})
+}
+
+func ownedPerClosure(run func(func())) {
+	// Each closure constructs and owns its generator: silent.
+	run(func() {
+		rng := rand.New(rand.NewSource(1))
+		_ = rng.Intn(10)
+	})
+	run(func() {
+		rng := rand.New(rand.NewSource(2))
+		_ = rng.Intn(10)
+	})
+}
+
+func singleClosureFanOut(shards []shardState, spawn func(int, func(int))) {
+	// The per-shard fan-out pattern: one literal invoked once per shard,
+	// each invocation selecting its own element — silent.
+	spawn(len(shards), func(i int) {
+		_ = shards[i].rng.Intn(10)
+		shards[i].id++
+	})
+}
+
+func singleClosureUse(s *shardState, run func(func())) {
+	// Only one closure reaches the field: silent (ownership transfer into a
+	// single worker is the per-shard contract).
+	run(func() {
+		_ = s.rng.Intn(10)
+	})
+}

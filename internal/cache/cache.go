@@ -70,3 +70,35 @@ func (c *Cache) Invalidate() {
 	c.valid = false
 	c.entry = core.PeerCache{}
 }
+
+// StagedWrite is a deferred cache update: the resolve phase of a concurrent
+// query batch records what Store call each query *would* make, and the
+// commit phase applies the writes strictly in event order. Splitting the
+// write off from resolution guarantees every resolver observes the caches
+// exactly as they were at the start of the step — a snapshot — no matter
+// how the batch is scheduled across workers.
+//
+// The zero value is a no-op: Apply on it does nothing, so resolvers that
+// never produce a result need no special casing.
+type StagedWrite struct {
+	queryLoc geom.Point
+	certain  []core.POI
+	staged   bool
+}
+
+// Stage records a pending Store(queryLoc, certain). The slice is retained;
+// callers must not mutate it afterwards.
+func Stage(queryLoc geom.Point, certain []core.POI) StagedWrite {
+	return StagedWrite{queryLoc: queryLoc, certain: certain, staged: true}
+}
+
+// Apply performs the recorded Store on c. A zero StagedWrite does nothing.
+func (w StagedWrite) Apply(c *Cache) {
+	if !w.staged {
+		return
+	}
+	c.Store(w.queryLoc, w.certain)
+}
+
+// Staged reports whether Apply will write anything.
+func (w StagedWrite) Staged() bool { return w.staged }

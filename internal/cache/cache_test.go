@@ -90,6 +90,43 @@ func TestStoreEmptyInvalidates(t *testing.T) {
 	}
 }
 
+// StagedWrite defers a cache-policy write so the simulator's resolve phase
+// can stay read-only; Apply in commit order must behave exactly like an
+// immediate Store.
+func TestStagedWriteApply(t *testing.T) {
+	c := New(5)
+	w := Stage(geom.Pt(1, 1), pois(geom.Pt(3, 1), geom.Pt(2, 1)))
+	if !w.Staged() {
+		t.Error("Stage returned an unstaged write")
+	}
+	if _, ok := c.Entry(); ok {
+		t.Error("staging alone must not touch the cache")
+	}
+	w.Apply(c)
+	e, ok := c.Entry()
+	if !ok || !e.QueryLoc.Eq(geom.Pt(1, 1)) {
+		t.Fatalf("Apply did not store the entry: %+v ok=%v", e, ok)
+	}
+	if len(e.Neighbors) != 2 || e.Neighbors[0].Loc.X != 2 {
+		t.Errorf("Apply bypassed Store's sorting: %v", e.Neighbors)
+	}
+}
+
+// The zero StagedWrite is the "keep the previous entry" decision.
+func TestStagedWriteZeroValueIsNoOp(t *testing.T) {
+	c := New(3)
+	c.Store(geom.Pt(0, 0), pois(geom.Pt(1, 0)))
+	var w StagedWrite
+	if w.Staged() {
+		t.Error("zero StagedWrite reports staged")
+	}
+	w.Apply(c)
+	e, ok := c.Entry()
+	if !ok || !e.QueryLoc.Eq(geom.Pt(0, 0)) || len(e.Neighbors) != 1 {
+		t.Errorf("zero-value Apply disturbed the cache: %+v ok=%v", e, ok)
+	}
+}
+
 func TestInvalidate(t *testing.T) {
 	c := New(3)
 	c.Store(geom.Pt(0, 0), pois(geom.Pt(1, 0)))

@@ -84,6 +84,23 @@ func NewResultHeap(k int) *ResultHeap {
 	return &ResultHeap{k: k, byID: make(map[int64]bool)}
 }
 
+// Reset empties the heap and re-arms it for a query requesting k neighbors,
+// retaining the allocated backing storage. It lets a resolver worker reuse
+// one heap as scratch across a batch of queries. k must be positive.
+func (h *ResultHeap) Reset(k int) {
+	if k <= 0 {
+		panic("core: result heap needs k > 0")
+	}
+	h.k = k
+	h.certain = h.certain[:0]
+	h.uncertain = h.uncertain[:0]
+	if h.byID == nil {
+		h.byID = make(map[int64]bool)
+	} else {
+		clear(h.byID)
+	}
+}
+
 // K returns the requested result count.
 func (h *ResultHeap) K() int { return h.k }
 

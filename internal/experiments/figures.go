@@ -14,12 +14,18 @@ import (
 )
 
 // SeriesPoint is one x position of a sweep with the three query-resolution
-// shares the paper's Figures 9–16 plot.
+// shares the paper's Figures 9–16 plot. When Options.Repeats > 1 the shares
+// are means over the repeated runs and the Std fields carry their sample
+// standard deviations (zero for a single run).
 type SeriesPoint struct {
 	X           float64 // swept parameter value
 	ShareSingle float64 // % solved by a single peer
 	ShareMulti  float64 // % solved by multiple peers
 	ShareServer float64 // % solved by the server (SQRR)
+
+	StdSingle float64 // stddev of ShareSingle across repeats
+	StdMulti  float64 // stddev of ShareMulti across repeats
+	StdServer float64 // stddev of ShareServer across repeats
 }
 
 // FigureResult is one sub-figure: a sweep for one region.
@@ -53,10 +59,22 @@ type Options struct {
 	// derives it from the Workers budget via WorkerBudget. Results are
 	// identical for any value.
 	WorldWorkers int
+	// QueryWorkers overrides the query-resolve worker count
+	// (sim.Config.QueryWorkers) of every simulation the runner launches. 0
+	// derives it from the Workers budget via WorkerBudget. Results are
+	// identical for any value.
+	QueryWorkers int
+	// Repeats runs every sweep point with this many independent seeds and
+	// reports the mean shares plus their sample standard deviation in the
+	// SeriesPoint Std fields. 0 or 1 = a single run per point (the
+	// FreeMovementComparison study defaults to 3 — its effect is below
+	// single-run noise).
+	Repeats int
 	// CommonRandomNumbers gives every point of a sweep the identical base
 	// seed, pairing the runs as a variance-reduction technique. Off by
 	// default: each point then draws an independent seed, so the points are
-	// independent samples.
+	// independent samples. Repeated runs of the same point always draw
+	// distinct seeds.
 	CommonRandomNumbers bool
 }
 
@@ -71,61 +89,113 @@ func (o Options) normalize() Options {
 	return o
 }
 
-// workerSplit resolves the two parallelism levels for a runner with the
+// workerSplit resolves the three parallelism levels for a runner with the
 // given task count: the outer RunParallel worker count and the
-// sim.Config.Workers value of each launched simulation, honoring an
-// explicit WorldWorkers override.
-func (o Options) workerSplit(tasks int) (outer, inner int) {
-	outer, inner = WorkerBudget(o.Workers, tasks)
+// sim.Config.Workers / sim.Config.QueryWorkers values of each launched
+// simulation, honoring explicit WorldWorkers / QueryWorkers overrides.
+func (o Options) workerSplit(tasks int) (outer, move, query int) {
+	outer, move, query = WorkerBudget(o.Workers, tasks)
 	if o.WorldWorkers > 0 {
-		inner = o.WorldWorkers
+		move = o.WorldWorkers
 	}
-	return outer, inner
+	if o.QueryWorkers > 0 {
+		query = o.QueryWorkers
+	}
+	return outer, move, query
 }
 
-// sweepSeed derives the seed of sweep point i. By default every point gets
-// its own seed so the points are independent samples; with
-// CommonRandomNumbers all points share the base seed (paired runs).
-func sweepSeed(baseSeed int64, opts Options, i int) int64 {
+// repeats resolves the effective per-point run count.
+func (o Options) repeats() int {
+	if o.Repeats < 1 {
+		return 1
+	}
+	return o.Repeats
+}
+
+// sweepSeed derives the seed of repeat rep of sweep point i. By default
+// every point gets its own seed so the points are independent samples; with
+// CommonRandomNumbers all points share the base seed (paired runs). Repeats
+// of the same point always get distinct seeds — the same 7919 stride the
+// free-movement study has always used — so the per-point samples are
+// independent under either policy.
+func sweepSeed(baseSeed int64, opts Options, i, rep int) int64 {
 	s := baseSeed + opts.Seed
 	if !opts.CommonRandomNumbers {
 		s += int64(i) * 1_000_000
 	}
-	return s
+	return s + int64(rep)*7919
 }
 
-// runSweep executes one simulation per sweep value, mutating the base config
-// through mut. The points are independent runs and execute across
+// shareSample is one run's contribution to a sweep point.
+type shareSample struct {
+	single, multi, server float64
+}
+
+// aggregateShares folds the repeated samples of one x into its SeriesPoint:
+// mean shares plus their sample standard deviation (zero for n = 1).
+func aggregateShares(x float64, samples []shareSample) SeriesPoint {
+	n := float64(len(samples))
+	var p SeriesPoint
+	p.X = x
+	for _, s := range samples {
+		p.ShareSingle += s.single / n
+		p.ShareMulti += s.multi / n
+		p.ShareServer += s.server / n
+	}
+	if len(samples) > 1 {
+		var vs, vm, vv float64
+		for _, s := range samples {
+			vs += (s.single - p.ShareSingle) * (s.single - p.ShareSingle)
+			vm += (s.multi - p.ShareMulti) * (s.multi - p.ShareMulti)
+			vv += (s.server - p.ShareServer) * (s.server - p.ShareServer)
+		}
+		p.StdSingle = math.Sqrt(vs / (n - 1))
+		p.StdMulti = math.Sqrt(vm / (n - 1))
+		p.StdServer = math.Sqrt(vv / (n - 1))
+	}
+	return p
+}
+
+// runSweep executes opts.Repeats simulations per sweep value, mutating the
+// base config through mut. The runs are independent and execute across
 // opts.Workers goroutines; each task owns its result slot and derives its
-// seed from its index, so the series is identical for any worker count.
+// seed from its (point, repeat) index, so the series is identical for any
+// worker count.
 func runSweep(base sim.Config, xs []float64, opts Options, mut func(cfg *sim.Config, x float64)) ([]SeriesPoint, error) {
 	opts = opts.normalize()
-	outer, inner := opts.workerSplit(len(xs))
-	pts := make([]SeriesPoint, len(xs))
-	tasks := make([]RunTask, len(xs))
+	repeats := opts.repeats()
+	samples := make([]shareSample, len(xs)*repeats)
+	outer, move, query := opts.workerSplit(len(samples))
+	tasks := make([]RunTask, len(samples))
 	for i, x := range xs {
-		i, x := i, x
-		tasks[i] = func() error {
-			cfg := ScaleHosts(ScaleDuration(base, opts.DurationScale), opts.HostScale)
-			cfg.Seed = sweepSeed(base.Seed, opts, i)
-			cfg.Workers = inner
-			mut(&cfg, x)
-			w, err := sim.New(cfg)
-			if err != nil {
-				return fmt.Errorf("sweep x=%v: %w", x, err)
+		for rep := 0; rep < repeats; rep++ {
+			slot, i, x, rep := i*repeats+rep, i, x, rep
+			tasks[slot] = func() error {
+				cfg := ScaleHosts(ScaleDuration(base, opts.DurationScale), opts.HostScale)
+				cfg.Seed = sweepSeed(base.Seed, opts, i, rep)
+				cfg.Workers = move
+				cfg.QueryWorkers = query
+				mut(&cfg, x)
+				w, err := sim.New(cfg)
+				if err != nil {
+					return fmt.Errorf("sweep x=%v: %w", x, err)
+				}
+				m := w.Run()
+				samples[slot] = shareSample{
+					single: m.ShareSingle(),
+					multi:  m.ShareMulti(),
+					server: m.SQRR(),
+				}
+				return nil
 			}
-			m := w.Run()
-			pts[i] = SeriesPoint{
-				X:           x,
-				ShareSingle: m.ShareSingle(),
-				ShareMulti:  m.ShareMulti(),
-				ShareServer: m.SQRR(),
-			}
-			return nil
 		}
 	}
 	if err := RunParallel(tasks, outer); err != nil {
 		return nil, err
+	}
+	pts := make([]SeriesPoint, len(xs))
+	for i, x := range xs {
+		pts[i] = aggregateShares(x, samples[i*repeats:(i+1)*repeats])
 	}
 	return pts, nil
 }
@@ -207,14 +277,18 @@ func KSweep(r Region, a Area, opts Options) (FigureResult, error) {
 // FreeMovementComparison reproduces the §4.3 observation: the free movement
 // mode lowers the server share slightly relative to the road network mode,
 // most visibly in dense regions. The delta is a few percent — below
-// single-run noise — so each mode is averaged over Repeats seeds (default
-// 3). It returns the averaged (roadSQRR, freeSQRR).
+// single-run noise — so each mode is averaged over Options.Repeats seeds
+// (defaulting to 3 here rather than 1: the study is meaningless unaveraged).
+// It returns the averaged (roadSQRR, freeSQRR).
 func FreeMovementComparison(r Region, a Area, opts Options) (road, free float64, err error) {
 	opts = opts.normalize()
-	const repeats = 3
+	if opts.Repeats < 1 {
+		opts.Repeats = 3
+	}
+	repeats := opts.repeats()
 	modes := []sim.Mode{sim.ModeRoadNetwork, sim.ModeFreeMovement}
 	shares := make([]float64, len(modes)*repeats)
-	outer, inner := opts.workerSplit(len(shares))
+	outer, move, query := opts.workerSplit(len(shares))
 	tasks := make([]RunTask, 0, len(shares))
 	for mi, mode := range modes {
 		for rep := 0; rep < repeats; rep++ {
@@ -223,7 +297,8 @@ func FreeMovementComparison(r Region, a Area, opts Options) (road, free float64,
 				cfg := ScaleHosts(ScaleDuration(BaseConfig(r, a), opts.DurationScale), opts.HostScale)
 				cfg.Mode = mode
 				cfg.Seed += opts.Seed + int64(rep)*7919
-				cfg.Workers = inner
+				cfg.Workers = move
+				cfg.QueryWorkers = query
 				w, werr := sim.New(cfg)
 				if werr != nil {
 					return werr
@@ -237,8 +312,8 @@ func FreeMovementComparison(r Region, a Area, opts Options) (road, free float64,
 		return 0, 0, err
 	}
 	for rep := 0; rep < repeats; rep++ {
-		road += shares[rep] / repeats
-		free += shares[repeats+rep] / repeats
+		road += shares[rep] / float64(repeats)
+		free += shares[repeats+rep] / float64(repeats)
 	}
 	return road, free, nil
 }

@@ -18,17 +18,20 @@ type RunTask func() error
 // loop. Because every task owns its result slot and its seed, the output is
 // bit-identical for any worker count — the determinism contract the figure
 // suite relies on (verified by TestParallelMatchesSequential*).
-// WorkerBudget splits a core budget between the two levels of the
+// WorkerBudget splits a core budget between the three levels of the
 // parallelism model: the outer fan-out of independent simulation runs
-// (RunParallel) and the intra-world movement workers of each run
-// (sim.Config.Workers). The rule is outer × inner ≤ budget, so a sweep
-// never oversubscribes the machine: a wide sweep saturates the budget with
-// whole runs (inner = 1), while a sweep with fewer points than cores gives
-// the spare cores to each run's movement phase. budget <= 0 means
-// runtime.GOMAXPROCS(0). Both levels are deterministic, so the split is
-// purely a scheduling decision — any (outer, inner) pair produces
-// bit-identical results.
-func WorkerBudget(budget, tasks int) (outer, inner int) {
+// (RunParallel), the intra-world movement workers of each run
+// (sim.Config.Workers), and the query-resolve workers of each run
+// (sim.Config.QueryWorkers). The rule is outer × max(move, query) ≤ budget,
+// so a sweep never oversubscribes the machine: a wide sweep saturates the
+// budget with whole runs (move = query = 1), while a sweep with fewer
+// points than cores gives the spare cores to each run. Movement and query
+// resolution alternate within a step — they never run at the same time —
+// so both inner levels share the same per-run budget rather than splitting
+// it. budget <= 0 means runtime.GOMAXPROCS(0). All three levels are
+// deterministic, so the split is purely a scheduling decision — any
+// (outer, move, query) triple produces bit-identical results.
+func WorkerBudget(budget, tasks int) (outer, move, query int) {
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
@@ -39,11 +42,11 @@ func WorkerBudget(budget, tasks int) (outer, inner int) {
 	if tasks < outer {
 		outer = tasks
 	}
-	inner = budget / outer
+	inner := budget / outer
 	if inner < 1 {
 		inner = 1
 	}
-	return outer, inner
+	return outer, inner, inner
 }
 
 func RunParallel(tasks []RunTask, workers int) error {

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -76,41 +79,53 @@ func TestWorkerBudget(t *testing.T) {
 	}{
 		{8, 8, 8, 1},  // wide sweep: saturate with whole runs
 		{8, 16, 8, 1}, // more tasks than cores
-		{8, 3, 3, 2},  // spare cores go to the movement phase
+		{8, 3, 3, 2},  // spare cores go to each run's phases
 		{8, 1, 1, 8},  // single run gets the whole budget
 		{1, 5, 1, 1},  // fully sequential
 		{7, 2, 2, 3},  // non-divisible budget rounds down
 		{4, 0, 1, 4},  // degenerate task count clamps to 1
 	}
 	for _, c := range cases {
-		outer, inner := WorkerBudget(c.budget, c.tasks)
-		if outer != c.wantOuter || inner != c.wantInner {
-			t.Errorf("WorkerBudget(%d, %d) = (%d, %d), want (%d, %d)",
-				c.budget, c.tasks, outer, inner, c.wantOuter, c.wantInner)
+		outer, move, query := WorkerBudget(c.budget, c.tasks)
+		if outer != c.wantOuter || move != c.wantInner || query != c.wantInner {
+			t.Errorf("WorkerBudget(%d, %d) = (%d, %d, %d), want (%d, %d, %d)",
+				c.budget, c.tasks, outer, move, query, c.wantOuter, c.wantInner, c.wantInner)
+		}
+		// Movement and query phases alternate, so the subscription bound is
+		// outer × max(move, query), not outer × move × query.
+		inner := move
+		if query > inner {
+			inner = query
 		}
 		if outer*inner > c.budget {
 			t.Errorf("WorkerBudget(%d, %d) oversubscribes: %d×%d > budget",
 				c.budget, c.tasks, outer, inner)
 		}
 	}
-	if outer, inner := WorkerBudget(0, 4); outer < 1 || inner < 1 {
-		t.Errorf("WorkerBudget(0, 4) = (%d, %d); zero budget must fall back to GOMAXPROCS", outer, inner)
+	if outer, move, query := WorkerBudget(0, 4); outer < 1 || move < 1 || query < 1 {
+		t.Errorf("WorkerBudget(0, 4) = (%d, %d, %d); zero budget must fall back to GOMAXPROCS", outer, move, query)
 	}
 }
 
 func TestSweepSeedDerivation(t *testing.T) {
 	opts := Options{Seed: 5}
-	s0 := sweepSeed(1, opts, 0)
-	s1 := sweepSeed(1, opts, 1)
+	s0 := sweepSeed(1, opts, 0, 0)
+	s1 := sweepSeed(1, opts, 1, 0)
 	if s0 == s1 {
 		t.Error("independent sweep points share a seed")
 	}
 	if s0 != 6 {
 		t.Errorf("point 0 seed = %d, want base+offset = 6", s0)
 	}
+	if r0, r1 := sweepSeed(1, opts, 0, 0), sweepSeed(1, opts, 0, 1); r0 == r1 {
+		t.Error("repeats of the same point share a seed")
+	}
 	opts.CommonRandomNumbers = true
-	if a, b := sweepSeed(1, opts, 0), sweepSeed(1, opts, 9); a != b {
+	if a, b := sweepSeed(1, opts, 0, 0), sweepSeed(1, opts, 9, 0); a != b {
 		t.Errorf("common random numbers: seeds differ (%d vs %d)", a, b)
+	}
+	if a, b := sweepSeed(1, opts, 0, 1), sweepSeed(1, opts, 9, 1); a != b {
+		t.Error("common random numbers must pair by repeat index too")
 	}
 }
 
@@ -138,6 +153,80 @@ func TestParallelMatchesSequentialSweep(t *testing.T) {
 		}
 		if got, want := FormatFigure(par), FormatFigure(seq); got != want {
 			t.Errorf("workers=%d rendered output diverged:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestQueryWorkersMatchSequentialFigure pins the figure-level contract of
+// the query pipeline at the outermost observable layer: the rendered text
+// table and the persisted JSON document are byte-identical for query
+// workers 1, 4 and 8.
+func TestQueryWorkersMatchSequentialFigure(t *testing.T) {
+	render := func(qworkers int) (string, []byte) {
+		opts := smokeOpts(1)
+		opts.QueryWorkers = qworkers
+		fr, err := VelocitySweep(Riverside, Area2mi, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := WriteFigureJSON(dir, []FigureResult{fr}); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "fig13.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatFigure(fr), data
+	}
+	wantText, wantJSON := render(1)
+	for _, qworkers := range []int{4, 8} {
+		gotText, gotJSON := render(qworkers)
+		if gotText != wantText {
+			t.Errorf("queryworkers=%d: figure text diverged:\n%s\nvs\n%s",
+				qworkers, gotText, wantText)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("queryworkers=%d: figure JSON diverged:\n%s\nvs\n%s",
+				qworkers, gotJSON, wantJSON)
+		}
+	}
+}
+
+// TestRepeatsReportStddev checks the Options.Repeats aggregation: repeated
+// runs with distinct seeds produce a mean series with a non-degenerate
+// sample standard deviation, while a single-run sweep leaves the Std fields
+// zero (and therefore omitted from the JSON documents).
+func TestRepeatsReportStddev(t *testing.T) {
+	opts := smokeOpts(2)
+	opts.Repeats = 2
+	fr, err := VelocitySweep(Riverside, Area2mi, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyStd := false
+	for _, p := range fr.Points {
+		if p.StdSingle < 0 || p.StdMulti < 0 || p.StdServer < 0 {
+			t.Fatalf("negative stddev at x=%v: %+v", p.X, p)
+		}
+		for _, share := range []float64{p.ShareSingle, p.ShareMulti, p.ShareServer} {
+			if share < 0 || share > 100 {
+				t.Fatalf("mean share out of range at x=%v: %+v", p.X, p)
+			}
+		}
+		anyStd = anyStd || p.StdSingle > 0 || p.StdMulti > 0 || p.StdServer > 0
+	}
+	if !anyStd {
+		t.Error("two independent seeds produced zero variance at every point")
+	}
+
+	single, err := VelocitySweep(Riverside, Area2mi, smokeOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range single.Points {
+		if p.StdSingle != 0 || p.StdMulti != 0 || p.StdServer != 0 {
+			t.Fatalf("single-run sweep reported a stddev at x=%v: %+v", p.X, p)
 		}
 	}
 }

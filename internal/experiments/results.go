@@ -16,12 +16,18 @@ import (
 // `cmd/experiments -parallel 1` against a run with both parallelism levels
 // enabled.
 
-// FigurePointJSON is one sweep point of a Figures 9–16 series.
+// FigurePointJSON is one sweep point of a Figures 9–16 series. The std
+// fields carry the sample standard deviation across Options.Repeats runs
+// and are omitted for single-run sweeps, keeping those documents
+// byte-identical with the pre-Repeats format.
 type FigurePointJSON struct {
 	X           float64 `json:"x"`
 	ShareSingle float64 `json:"single_peer_pct"`
 	ShareMulti  float64 `json:"multi_peer_pct"`
 	ShareServer float64 `json:"server_pct"`
+	StdSingle   float64 `json:"single_peer_std,omitempty"`
+	StdMulti    float64 `json:"multi_peer_std,omitempty"`
+	StdServer   float64 `json:"server_std,omitempty"`
 }
 
 // FigureRegionJSON is one sub-figure (one region's series).
@@ -59,6 +65,9 @@ func WriteFigureJSON(dir string, frs []FigureResult) error {
 				ShareSingle: p.ShareSingle,
 				ShareMulti:  p.ShareMulti,
 				ShareServer: p.ShareServer,
+				StdSingle:   p.StdSingle,
+				StdMulti:    p.StdMulti,
+				StdServer:   p.StdServer,
 			}
 		}
 		doc.Regions = append(doc.Regions, FigureRegionJSON{

@@ -37,7 +37,7 @@ func UncertainQuality(r Region, a Area, opts Options) (UncertainQualityResult, e
 	cfg := ScaleHosts(ScaleDuration(BaseConfig(r, a), opts.DurationScale), opts.HostScale)
 	cfg.AcceptUncertain = true
 	cfg.Seed += opts.Seed
-	_, cfg.Workers = opts.workerSplit(1)
+	_, cfg.Workers, cfg.QueryWorkers = opts.workerSplit(1)
 	w, err := sim.New(cfg)
 	if err != nil {
 		return UncertainQualityResult{}, err
@@ -87,11 +87,14 @@ func UncertainQuality(r Region, a Area, opts Options) (UncertainQualityResult, e
 // returned in Regions order regardless of scheduling.
 func UncertainQualityAll(a Area, opts Options) ([]UncertainQualityResult, error) {
 	opts = opts.normalize()
-	outer, inner := opts.workerSplit(len(Regions))
+	outer, move, query := opts.workerSplit(len(Regions))
 	if opts.WorldWorkers == 0 {
 		// Pin the derived split so each region's UncertainQuality call does
 		// not re-derive a budget that assumes it runs alone.
-		opts.WorldWorkers = inner
+		opts.WorldWorkers = move
+	}
+	if opts.QueryWorkers == 0 {
+		opts.QueryWorkers = query
 	}
 	out := make([]UncertainQualityResult, len(Regions))
 	tasks := make([]RunTask, len(Regions))

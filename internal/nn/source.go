@@ -50,3 +50,42 @@ func (m memNode) Child(i int) TreeNode { return memNode{m.n.Child(i)} }
 
 // Source wraps an in-memory R*-tree as a TreeSource.
 func Source(t *rtree.Tree) TreeSource { return memTree{t} }
+
+// CountedSource wraps a TreeSource and counts the page accesses performed
+// through this wrapper alone. The underlying source's own accounting (the
+// tree's global counter, a buffer pool's hit/miss stats) still runs; the
+// wrapper adds the per-traversal view a concurrent query path needs, where
+// differencing a shared counter would observe every other in-flight query.
+// A CountedSource is owned by one traversal and is not safe for concurrent
+// use itself.
+type CountedSource struct {
+	src TreeSource
+	n   int64
+}
+
+// NewCountedSource wraps src with per-traversal access counting.
+func NewCountedSource(src TreeSource) *CountedSource { return &CountedSource{src: src} }
+
+// Root fetches the root through the underlying source, counting one access.
+func (c *CountedSource) Root() (TreeNode, bool) {
+	c.n++
+	nd, ok := c.src.Root()
+	return countedNode{n: nd, c: c}, ok
+}
+
+// Accesses returns the page accesses counted so far.
+func (c *CountedSource) Accesses() int64 { return c.n }
+
+type countedNode struct {
+	n TreeNode
+	c *CountedSource
+}
+
+func (cn countedNode) IsLeaf() bool         { return cn.n.IsLeaf() }
+func (cn countedNode) Len() int             { return cn.n.Len() }
+func (cn countedNode) Rect(i int) geom.Rect { return cn.n.Rect(i) }
+func (cn countedNode) Data(i int) any       { return cn.n.Data(i) }
+func (cn countedNode) Child(i int) TreeNode {
+	cn.c.n++
+	return countedNode{n: cn.n.Child(i), c: cn.c}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -51,15 +52,17 @@ func (n *node) bounds() geom.Rect {
 
 // Tree is an R*-tree mapping rectangles (usually degenerate point rectangles)
 // to opaque values. The zero value is not usable; construct with New.
-// Tree is not safe for concurrent mutation; concurrent read-only use is safe
-// apart from the shared access counter, which callers that need exact counts
-// should guard.
+// Tree is not safe for concurrent mutation; concurrent read-only use —
+// including the access counter, which is atomic — is safe. Callers that need
+// a per-query access delta under concurrent readers should count through
+// their own traversal wrapper (nn.CountedSource) instead of differencing
+// AccessCount, which observes every concurrent reader at once.
 type Tree struct {
 	root       *node
 	minEntries int
 	maxEntries int
 	size       int
-	accesses   int64
+	accesses   atomic.Int64
 }
 
 // New returns an empty tree with the given maximum node fan-out. The minimum
@@ -97,10 +100,10 @@ func (t *Tree) Bounds() geom.Rect { return t.root.bounds() }
 // query APIs — Search and the Node traversal — since the last reset. Insert
 // and Delete do not contribute: the paper's PAR metric counts query-time
 // accesses only.
-func (t *Tree) AccessCount() int64 { return t.accesses }
+func (t *Tree) AccessCount() int64 { return t.accesses.Load() }
 
 // ResetAccessCount zeroes the page-access counter.
-func (t *Tree) ResetAccessCount() { t.accesses = 0 }
+func (t *Tree) ResetAccessCount() { t.accesses.Store(0) }
 
 // InsertPoint stores data under the degenerate rectangle at p.
 func (t *Tree) InsertPoint(p geom.Point, data any) {
@@ -466,7 +469,7 @@ func (t *Tree) Search(query geom.Rect, fn func(rect geom.Rect, data any) bool) {
 }
 
 func (t *Tree) searchNode(n *node, query geom.Rect, fn func(geom.Rect, any) bool) bool {
-	t.accesses++
+	t.accesses.Add(1)
 	for i := range n.entries {
 		if !n.entries[i].rect.Intersects(query) {
 			continue
@@ -512,7 +515,7 @@ type Node struct {
 // Root returns the root node, counting one page access. ok is false only for
 // a tree with no entries at all (the empty root is still returned).
 func (t *Tree) Root() (nd Node, ok bool) {
-	t.accesses++
+	t.accesses.Add(1)
 	return Node{t: t, n: t.root}, len(t.root.entries) > 0
 }
 
@@ -530,7 +533,7 @@ func (nd Node) Data(i int) any { return nd.n.entries[i].data }
 
 // Child fetches the child node of inner entry i, counting one page access.
 func (nd Node) Child(i int) Node {
-	nd.t.accesses++
+	nd.t.accesses.Add(1)
 	return Node{t: nd.t, n: nd.n.entries[i].child}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -65,6 +66,65 @@ func TestEveryQueryAnswerIsExact(t *testing.T) {
 		}
 		if peerSolved == 0 {
 			t.Errorf("mode %v: no peer-solved queries audited; scenario too weak", mode)
+		}
+	}
+}
+
+// TestConcurrentResolutionMatchesSequentialOracle replays the identical
+// simulation once with a sequential resolve phase and once with 8 query
+// workers, recording every audited answer (in commit order), and requires
+// the two answer streams to be identical — then checks each answer of the
+// shared stream against a brute-force scan of the POI set. Together the two
+// halves say: concurrency changes nothing, and what it doesn't change is
+// correct.
+func TestConcurrentResolutionMatchesSequentialOracle(t *testing.T) {
+	type answer struct {
+		q     geom.Point
+		k     int
+		src   core.Source
+		ids   []int64
+		dists []float64
+	}
+	capture := func(qworkers int) ([]answer, []core.POI) {
+		cfg := smallConfig()
+		cfg.Duration = 300
+		cfg.QueryWorkers = qworkers
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []answer
+		w.SetAudit(func(q geom.Point, k int, ans []core.Candidate, src core.Source) {
+			a := answer{q: q, k: k, src: src}
+			for _, c := range ans {
+				a.ids = append(a.ids, c.ID)
+				a.dists = append(a.dists, c.Dist)
+			}
+			out = append(out, a)
+		})
+		w.Run()
+		return out, w.Server().POIs()
+	}
+	seq, pois := capture(1)
+	if len(seq) == 0 {
+		t.Fatal("sequential run audited no queries")
+	}
+	conc, _ := capture(8)
+	if !reflect.DeepEqual(seq, conc) {
+		t.Fatalf("concurrent resolution diverged from sequential:\nseq:  %d answers\nconc: %d answers",
+			len(seq), len(conc))
+	}
+	for _, a := range seq {
+		dists := make([]float64, len(pois))
+		for i, p := range pois {
+			dists[i] = a.q.Dist(p.Loc)
+		}
+		sort.Float64s(dists)
+		for i, d := range a.dists {
+			if math.Abs(d-dists[i]) > 1e-9 {
+				t.Fatalf("query at %v k=%d rank %d: answer dist %v, oracle %v (src %v)",
+					a.q, a.k, i+1, d, dists[i], a.src)
+			}
 		}
 	}
 }

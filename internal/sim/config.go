@@ -95,12 +95,18 @@ type Config struct {
 	// phase), retrievable via World.Series after Run.
 	SeriesWindow float64
 	// Workers is the number of goroutines the movement phase of World.Run
-	// shards the host population across — the intra-world level of the
-	// two-level parallelism model (EXPERIMENTS.md); the outer level fans
+	// shards the host population across — the middle level of the
+	// three-level parallelism model (EXPERIMENTS.md); the outer level fans
 	// whole simulations via experiments.RunParallel. 0 or 1 advances hosts
 	// on the coordinating goroutine. Every worker count produces
 	// bit-identical simulation output; only wall-clock time changes.
 	Workers int
+	// QueryWorkers is the number of goroutines the resolve phase of each
+	// step's query batch fans across — the innermost level of the worker
+	// budget (sweep × movement × query). 0 inherits Workers. Every worker
+	// count produces bit-identical simulation output; only wall-clock time
+	// changes (see the plan/resolve/commit pipeline in queryengine.go).
+	QueryWorkers int
 	// Seed makes runs reproducible.
 	Seed int64
 }
@@ -171,6 +177,12 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("sim: Workers must be >= 0, got %d", c.Workers)
+	}
+	if c.QueryWorkers < 0 {
+		return c, fmt.Errorf("sim: QueryWorkers must be >= 0, got %d", c.QueryWorkers)
+	}
+	if c.QueryWorkers == 0 {
+		c.QueryWorkers = c.Workers
 	}
 	if c.RTreeFanout == 0 {
 		c.RTreeFanout = 30

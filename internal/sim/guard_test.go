@@ -34,6 +34,12 @@ func TestRunTwicePanics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The guard exists precisely because the query engine stays armed after
+	// the first run: its batch buffers look ready, but the event clock and
+	// host caches are consumed.
+	if w.qengine == nil {
+		t.Fatal("world built without a live query engine")
+	}
 	w.Run()
 	defer func() {
 		if recover() == nil {
@@ -93,6 +99,34 @@ func TestServerKNNExcludesLowerBoundPOI(t *testing.T) {
 	}
 	if fetched[0].ID != 1 || fetched[1].ID != 2 {
 		t.Errorf("fetched = %v, want POIs 1 and 2 in distance order", fetched)
+	}
+}
+
+// TestRangeBreaksDistanceTiesByID pins the Range determinism rule: hits at
+// exactly equal distance come back in ascending POI ID order, independent of
+// the R*-tree's internal layout (the same tie-break the INE path uses).
+func TestRangeBreaksDistanceTiesByID(t *testing.T) {
+	q := geom.Pt(0, 0)
+	// Four POIs at identical distance 5, IDs deliberately scrambled relative
+	// to insertion order, plus a nearer POI and one just out of range.
+	pois := []core.POI{
+		{ID: 7, Loc: geom.Pt(5, 0)},
+		{ID: 1, Loc: geom.Pt(-5, 0)},
+		{ID: 5, Loc: geom.Pt(0, 5)},
+		{ID: 3, Loc: geom.Pt(0, -5)},
+		{ID: 9, Loc: geom.Pt(1, 0)},
+		{ID: 0, Loc: geom.Pt(6, 0)},
+	}
+	srv := NewServerModule(pois, 4)
+	got := srv.Range(q, 5.5)
+	want := []int64{9, 1, 3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Range returned %d POIs, want %d: %v", len(got), len(want), got)
+	}
+	for i, p := range got {
+		if p.ID != want[i] {
+			t.Fatalf("Range order = %v, want IDs %v (ties broken by ID)", got, want)
+		}
 	}
 }
 

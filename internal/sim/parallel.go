@@ -8,8 +8,9 @@ import (
 )
 
 // stepEngine shards the per-step movement phase of World.Run across
-// Config.Workers goroutines. Query execution stays on the coordinating
-// goroutine between steps, so the Poisson event stream is untouched.
+// Config.Workers goroutines. Query planning stays on the coordinating
+// goroutine between steps, so the Poisson event stream is untouched; the
+// query batch itself resolves through the queryEngine (queryengine.go).
 //
 // Determinism: each host's trajectory depends only on its own model state
 // (every model owns a private RNG), so advancing hosts concurrently cannot
@@ -72,10 +73,11 @@ func newStepEngine(w *World, workers int) *stepEngine {
 	return e
 }
 
-// parallel runs fn(s) for s in [0,n) concurrently and waits. n is
-// len(e.shards) for the host passes and len(e.ranges) for the cell passes
-// (the two can differ when hosts or cells are scarcer than workers).
-func (e *stepEngine) parallel(n int, fn func(s int)) {
+// runWorkers runs fn(s) for s in [0,n) concurrently and waits. It is the
+// fan-out primitive shared by the movement stepEngine and the query
+// engine's resolve phase; callers guarantee the fn invocations touch
+// disjoint state.
+func runWorkers(n int, fn func(s int)) {
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for s := 0; s < n; s++ {
@@ -93,7 +95,7 @@ func (e *stepEngine) step(dt float64) {
 	g := w.grid
 
 	// Phase A — advance each shard's hosts and count cell occupancy.
-	e.parallel(len(e.shards), func(s int) {
+	runWorkers(len(e.shards), func(s int) {
 		counts := e.counts[s]
 		for c := range counts {
 			counts[c] = 0
@@ -112,7 +114,7 @@ func (e *stepEngine) step(dt float64) {
 	// cursors. B1 totals each worker's cell range; a tiny sequential prefix
 	// over the O(workers) totals seeds B2, which lays out the cells of each
 	// range: bucket c holds shard 0's block, then shard 1's, and so on.
-	e.parallel(len(e.ranges), func(s int) {
+	runWorkers(len(e.ranges), func(s int) {
 		lo, hi := e.ranges[s][0], e.ranges[s][1]
 		var tot int32
 		for c := lo; c < hi; c++ {
@@ -127,7 +129,7 @@ func (e *stepEngine) step(dt float64) {
 		e.rangeStart[s] = pos
 		pos += e.rangeTotal[s]
 	}
-	e.parallel(len(e.ranges), func(s int) {
+	runWorkers(len(e.ranges), func(s int) {
 		lo, hi := e.ranges[s][0], e.ranges[s][1]
 		pos := e.rangeStart[s]
 		for c := lo; c < hi; c++ {
@@ -142,7 +144,7 @@ func (e *stepEngine) step(dt float64) {
 	g.start[len(g.start)-1] = int32(len(w.hosts))
 
 	// Phase C — place each shard's hosts at its cursors, in index order.
-	e.parallel(len(e.shards), func(s int) {
+	runWorkers(len(e.shards), func(s int) {
 		counts := e.counts[s]
 		lo, hi := e.shards[s][0], e.shards[s][1]
 		for i := lo; i < hi; i++ {

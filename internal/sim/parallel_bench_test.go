@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 )
@@ -45,9 +46,13 @@ func benchStepWorld(b *testing.B) *World {
 }
 
 // BenchmarkWorldStep measures one movement step (advance every mobility
-// model + rebuild the host grid) at several intra-world worker counts. The
-// output is bit-identical across counts (TestWorldParallelDeterminism); the
-// CI bench job gates the workers=1 vs workers=8 ratio.
+// model + rebuild the host grid) at several intra-world worker counts, and
+// — under the queries/ sub-benchmarks — the query pipeline's
+// resolve+commit phase on a query-heavy batch at several
+// Config.QueryWorkers counts. Output is bit-identical across all counts
+// (TestWorldParallelDeterminism, TestWorldQueryParallelDeterminism); the
+// CI bench job gates both the movement workers=1 vs workers=8 ratio and
+// the query qworkers=1 vs qworkers=8 ratio.
 func BenchmarkWorldStep(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
@@ -59,4 +64,47 @@ func BenchmarkWorldStep(b *testing.B) {
 			}
 		})
 	}
+	for _, qworkers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("queries/qworkers=%d", qworkers), func(b *testing.B) {
+			w := benchStepWorld(b)
+			w.initQueryEngine(qworkers)
+			plans := benchQueryBatch(w, 2048)
+			// Warm the caches once outside the timer: the first batch on a
+			// cold world is all server fallbacks, which would bias whichever
+			// sub-benchmark runs first.
+			w.qengine.plans = append(w.qengine.plans[:0], plans...)
+			w.qengine.runBatch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Advance the hosts (untimed) so the cached results go stale
+				// the way a live run's do: without movement every query is an
+				// own-cache hit and the batch measures nothing but commit
+				// overhead.
+				b.StopTimer()
+				w.advanceMovement(60)
+				b.StartTimer()
+				w.qengine.plans = append(w.qengine.plans[:0], plans...)
+				w.qengine.runBatch()
+			}
+		})
+	}
+}
+
+// benchQueryBatch plans a fixed query-heavy batch — far larger than the
+// Poisson stream would put into one step — from a private RNG, so the
+// shared bench world's event clock and random stream stay untouched. The
+// commit phase's cache writes persist across iterations exactly as a live
+// run's would; resolution work is identical for every worker count because
+// commits land in event order.
+func benchQueryBatch(w *World, n int) []queryPlan {
+	rng := rand.New(rand.NewSource(7))
+	plans := make([]queryPlan, n)
+	for i := range plans {
+		plans[i] = queryPlan{
+			at:   float64(i),
+			host: int32(rng.Intn(len(w.hosts))),
+			k:    w.cfg.KMin + rng.Intn(w.cfg.KMax-w.cfg.KMin+1),
+		}
+	}
+	return plans
 }

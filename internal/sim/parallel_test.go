@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -81,6 +83,45 @@ func TestWorldParallelDeterminism(t *testing.T) {
 			}
 			if !reflect.DeepEqual(gotS, wantS) {
 				t.Errorf("%v workers=%d: series diverged", mode, workers)
+			}
+		}
+	}
+}
+
+// TestWorldQueryParallelDeterminism is the query-pipeline counterpart of
+// TestWorldParallelDeterminism: a full World.Run produces byte-identical
+// metrics and time series for query workers 1, 4 and 8, in both movement
+// modes. The comparison is on marshaled JSON bytes — the representation
+// every figure writer ultimately derives from these numbers — so "bit
+// identical" is checked literally, not through float equality semantics.
+func TestWorldQueryParallelDeterminism(t *testing.T) {
+	for _, mode := range []Mode{ModeRoadNetwork, ModeFreeMovement} {
+		base := smallConfig()
+		base.Mode = mode
+		base.SeriesWindow = 60
+
+		run := func(qworkers int) []byte {
+			cfg := base
+			cfg.QueryWorkers = qworkers
+			w, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := w.Run()
+			data, err := json.Marshal(struct {
+				Metrics Metrics
+				Series  []WindowPoint
+			}{m, w.Series()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return data
+		}
+		want := run(1)
+		for _, qworkers := range []int{4, 8} {
+			if got := run(qworkers); !bytes.Equal(got, want) {
+				t.Errorf("%v queryworkers=%d: output diverged:\ngot:  %s\nwant: %s",
+					mode, qworkers, got, want)
 			}
 		}
 	}

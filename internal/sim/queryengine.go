@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/wire"
+)
+
+// The query pipeline decomposes what used to be a serial executeQuery loop
+// into three explicit layers so a step's query batch can resolve
+// concurrently without perturbing a single bit of output:
+//
+//   - plan — World.Run draws every random decision (querying host, k,
+//     exponential inter-arrival gap) up-front in event order, so the RNG
+//     stream never depends on how resolution is scheduled;
+//   - resolve — each planned query gathers peer caches, runs the §3.2
+//     verification lemmas, and falls back to the server EINN search. These
+//     are pure reads against the step-start snapshot of host positions and
+//     caches, fanned across Config.QueryWorkers goroutines with per-worker
+//     scratch;
+//   - commit — cache-policy writes, Metrics, series, and audit callbacks
+//     are applied strictly in event order on the coordinating goroutine.
+//
+// Because resolvers share no mutable state (server counters are atomic,
+// page accounting is per-traversal) and the commit order is the event
+// order, the simulation output is bit-identical for any worker count.
+//
+// The snapshot semantics are part of the model, not an implementation
+// accident: the paper's hosts resolve against the peer caches that exist
+// when the query is issued (Algorithm 1, §4.1), so two queries arriving
+// within the same one-second step do not observe each other's results.
+
+// queryPlan is one planned query event: everything the plan phase drew from
+// the world RNG, plus whether the event falls inside the measured
+// (post-warm-up) window.
+type queryPlan struct {
+	at        float64 // event time on the Poisson clock
+	host      int32   // querying host index
+	k         int     // requested neighbor count
+	recording bool    // event is past warm-up: commit tallies Metrics
+}
+
+// queryResult is the effect of resolving one plan, carried from the
+// resolve phase to the commit phase.
+type queryResult struct {
+	q     geom.Point // query point (the host's step-start position)
+	src   core.Source
+	msgs  int64 // P2P messages the peer exchange cost
+	bytes int64 // wire volume of those messages
+	pages int64 // server page accesses (0 unless the server was contacted)
+	write cache.StagedWrite
+	// answer is the exact part the host acts on, recorded only when an
+	// audit callback is installed.
+	answer []core.Candidate
+}
+
+// resolverScratch is one worker's private buffers, reused across the
+// queries of its shard.
+type resolverScratch struct {
+	peers []core.PeerCache
+	heap  *core.ResultHeap
+}
+
+// queryEngine owns the batch buffers and worker scratch of the
+// plan/resolve/commit pipeline.
+type queryEngine struct {
+	w       *World
+	workers int
+	scratch []*resolverScratch
+	plans   []queryPlan
+	results []queryResult
+}
+
+func newQueryEngine(w *World, workers int) *queryEngine {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &queryEngine{w: w, workers: workers, scratch: make([]*resolverScratch, workers)}
+	for i := range e.scratch {
+		e.scratch[i] = &resolverScratch{heap: core.NewResultHeap(1)}
+	}
+	return e
+}
+
+// initQueryEngine arms the query pipeline with the given resolve worker
+// count (minimum 1). Split out of New so benchmarks can re-arm the same
+// world at different counts.
+func (w *World) initQueryEngine(workers int) {
+	w.qengine = newQueryEngine(w, workers)
+}
+
+// runBatch resolves the planned queries concurrently and commits their
+// effects in event order, leaving the plan buffer empty for the next step.
+func (e *queryEngine) runBatch() {
+	n := len(e.plans)
+	if n == 0 {
+		return
+	}
+	if cap(e.results) < n {
+		e.results = make([]queryResult, n)
+	}
+	e.results = e.results[:n]
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sc := e.scratch[0]
+		for i := range e.plans {
+			e.results[i] = e.resolve(&e.plans[i], sc)
+		}
+	} else {
+		shards := splitRange(n, workers)
+		runWorkers(len(shards), func(s int) {
+			sc := e.scratch[s]
+			for i := shards[s][0]; i < shards[s][1]; i++ {
+				e.results[i] = e.resolve(&e.plans[i], sc)
+			}
+		})
+	}
+
+	for i := range e.plans {
+		e.commit(&e.plans[i], &e.results[i])
+	}
+	e.plans = e.plans[:0]
+}
+
+// resolve runs one complete SENN query (Algorithm 1) against the step-start
+// snapshot: peer gather, kNN_single/kNN_multiple verification, then the
+// server fallback with the §3.3 pruning bounds. It only reads world state —
+// every effect is returned in the queryResult for the commit phase.
+func (e *queryEngine) resolve(p *queryPlan, sc *resolverScratch) queryResult {
+	w := e.w
+	h := w.hosts[p.host]
+	k := p.k
+	q := h.pos
+	res := queryResult{q: q}
+
+	// Gather shareable cached results: the host's own cache first (the
+	// local-cache check of §4.1), then every peer within transmission
+	// range. The P2P exchange is one broadcast request plus one cache-share
+	// response per peer holding data; its wire cost (internal/wire codec
+	// sizes) is the communication overhead metric.
+	peers := sc.peers[:0]
+	if ent, ok := h.cache.Entry(); ok {
+		peers = append(peers, ent)
+	}
+	res.msgs, res.bytes = 1, int64(wire.CacheRequestSize)
+	tx2 := w.cfg.TxRange * w.cfg.TxRange
+	w.grid.forNeighbors(q, w.cfg.TxRange, func(i int32) {
+		other := w.hosts[i]
+		if other == h {
+			return
+		}
+		if q.Dist2(other.pos) > tx2 {
+			return
+		}
+		if ent, ok := other.cache.Entry(); ok {
+			peers = append(peers, ent)
+			res.msgs++
+			res.bytes += int64(wire.CacheShareSize(len(ent.Neighbors)))
+		}
+	})
+	sc.peers = peers[:0]
+
+	// Algorithm 1 over the gathered peer data. The heap is sized at
+	// max(k, C_Size) rather than k: the query itself needs k certain
+	// objects, but cache policy 1 stores *all* the certain nearest
+	// neighbors of the most recent query — the full certified set is still
+	// an exact distance prefix (every POI closer than a certified one is
+	// itself certified), so it is a valid PeerCache and keeps the shared
+	// caches from degrading to the last query's k.
+	heapK := k
+	if c := h.cache.Capacity(); c > heapK {
+		heapK = c
+	}
+	heap := sc.heap
+	heap.Reset(heapK)
+	answered := func() bool { return heap.NumCertain() >= k }
+
+	sorted := core.SortPeersByProximity(q, peers)
+	solvedSingle := false
+	for _, pc := range sorted {
+		core.VerifySinglePeer(q, pc, heap)
+		if answered() {
+			solvedSingle = true
+			break
+		}
+	}
+	if !solvedSingle && len(sorted) > 0 {
+		core.VerifyMultiPeer(q, sorted, heap)
+	}
+	if answered() {
+		res.src = core.SolvedByMultiPeer
+		if solvedSingle {
+			res.src = core.SolvedBySinglePeer
+		}
+		certain := heap.CertainEntries()
+		res.write = stageResult(q, certain)
+		if w.audit != nil {
+			res.answer = certain[:k]
+		}
+		return res
+	}
+	if w.cfg.AcceptUncertain && heap.Len() >= k {
+		res.src = core.SolvedUncertain
+		// Uncertain results are not exact prefixes: only the certain prefix
+		// may enter the cache.
+		res.write = stageResult(q, heap.CertainEntries())
+		if w.audit != nil {
+			entries := heap.Entries()
+			if len(entries) > k {
+				entries = entries[:k]
+			}
+			res.answer = entries
+		}
+		return res
+	}
+
+	// Server fallback with the §3.3 pruning bounds. Per cache policy 2 the
+	// host tops the request up to its cache capacity. The upper bound — the
+	// k-th smallest distance in H — stays in force: it guarantees the top-k
+	// answer is complete, while letting the EINN search truncate the
+	// opportunistic cache refill early; the refill then holds every POI out
+	// to the bound, which is still an exact prefix and therefore a valid
+	// PeerCache.
+	bounds := heap.Bounds()
+	bounds.HasUpper = false
+	if ub, ok := heap.UpperBoundFor(k); ok {
+		bounds.Upper = ub
+		bounds.HasUpper = true
+	}
+	certain := heap.CertainEntries()
+	fetchCount := heapK - len(certain)
+	fetched, pages := w.server.KNNCounted(q, fetchCount, bounds)
+	res.src = core.SolvedByServer
+	res.pages = pages
+
+	full := make([]core.Candidate, 0, len(certain)+len(fetched))
+	full = append(full, certain...)
+	for _, poi := range fetched {
+		full = append(full, core.Candidate{POI: poi, Dist: q.Dist(poi.Loc), Certain: true})
+	}
+	res.write = stageResult(q, full)
+	if w.audit != nil {
+		nk := k
+		if nk > len(full) {
+			nk = len(full)
+		}
+		res.answer = full[:nk]
+	}
+	return res
+}
+
+// commit applies one resolved query's effects: the time series observes
+// every outcome (including the warm-up transient), Metrics tally only past
+// warm-up, and cache policy 1 writes land in event order.
+func (e *queryEngine) commit(p *queryPlan, r *queryResult) {
+	w := e.w
+	if w.series != nil {
+		var s querySource
+		switch r.src {
+		case core.SolvedBySinglePeer:
+			s = srcSingle
+		case core.SolvedByMultiPeer:
+			s = srcMulti
+		case core.SolvedUncertain:
+			s = srcUncertain
+		default:
+			s = srcServer
+		}
+		w.series.observe(p.at, s)
+	}
+	if p.recording {
+		w.metrics.TotalQueries++
+		switch r.src {
+		case core.SolvedBySinglePeer:
+			w.metrics.SolvedBySingle++
+		case core.SolvedByMultiPeer:
+			w.metrics.SolvedByMulti++
+		case core.SolvedUncertain:
+			w.metrics.SolvedUncertain++
+		case core.SolvedByServer:
+			w.metrics.SolvedByServer++
+		}
+		w.metrics.PeerMessages += r.msgs
+		w.metrics.PeerBytes += r.bytes
+		w.metrics.ServerPageAccesses += r.pages
+	}
+	r.write.Apply(w.hosts[p.host].cache)
+	if w.audit != nil {
+		w.audit(r.q, p.k, r.answer, r.src)
+	}
+}
+
+// stageResult prepares cache policy 1 as a deferred write: keep the query
+// location and the certain NNs of the most recent query. An empty certain
+// set stages nothing — the previous entry is kept rather than caching
+// nothing.
+func stageResult(q geom.Point, certain []core.Candidate) cache.StagedWrite {
+	if len(certain) == 0 {
+		return cache.StagedWrite{}
+	}
+	pois := make([]core.POI, len(certain))
+	for i, c := range certain {
+		pois[i] = c.POI
+	}
+	return cache.Stage(q, pois)
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -14,13 +15,18 @@ import (
 // R*-tree over the POI set queried with the EINN algorithm (best-first
 // incremental NN extended with the client's pruning bounds). It counts
 // queries and R*-tree node (page) accesses — the PAR metric.
+//
+// KNN and KNNCounted are safe for concurrent use: the tree is read-only
+// after construction and the stats are atomic, so the query-resolve phase
+// of the simulator may call them from many workers at once. Mutating calls
+// (ResetStats) must not overlap with queries.
 type ServerModule struct {
 	tree *rtree.Tree
 	pois []core.POI
 
 	// Stats.
-	queries      int64
-	pageAccesses int64
+	queries      atomic.Int64
+	pageAccesses atomic.Int64
 }
 
 // NewServerModule indexes the POIs with the given R*-tree fan-out.
@@ -97,23 +103,37 @@ func ClusteredPOIs(n int, bounds geom.Rect, clusters int, sigma float64, rng *ra
 // KNN implements core.Server: the k nearest POIs beyond the lower bound in
 // ascending order, searched with EINN under the provided bounds.
 func (s *ServerModule) KNN(q geom.Point, k int, b nn.Bounds) []core.POI {
-	s.queries++
-	before := s.tree.AccessCount()
-	results := nn.EINN(s.tree, q, k, b)
-	s.pageAccesses += s.tree.AccessCount() - before
+	out, _ := s.KNNCounted(q, k, b)
+	return out
+}
+
+// KNNCounted is KNN plus the exact number of R*-tree node (page) accesses
+// this one query performed. The count comes from a per-traversal wrapper,
+// not from differencing the shared counter, so it stays exact when many
+// queries run concurrently — the resolve phase of the simulator commits
+// these per-query counts in event order to keep metrics bit-identical for
+// any worker count.
+func (s *ServerModule) KNNCounted(q geom.Point, k int, b nn.Bounds) ([]core.POI, int64) {
+	s.queries.Add(1)
+	src := nn.NewCountedSource(nn.Source(s.tree))
+	results := nn.EINNOver(src, q, k, b)
+	pages := src.Accesses()
+	s.pageAccesses.Add(pages)
 	out := make([]core.POI, len(results))
 	for i, r := range results {
 		out[i] = r.Data.(core.POI)
 	}
-	return out
+	return out, pages
 }
 
 // Range implements core.RangeServer: every POI within Euclidean distance r
 // of q in ascending distance order, found with an R*-tree window search over
 // the disc's bounding box followed by an exact distance filter. Node reads
 // count as page accesses.
+// Range is not on the concurrent resolve path, so the page delta may
+// difference the shared counter.
 func (s *ServerModule) Range(q geom.Point, r float64) []core.POI {
-	s.queries++
+	s.queries.Add(1)
 	before := s.tree.AccessCount()
 	window := geom.NewCircle(q, r).Bounds()
 	type hit struct {
@@ -128,8 +148,16 @@ func (s *ServerModule) Range(q geom.Point, r float64) []core.POI {
 		}
 		return true
 	})
-	s.pageAccesses += s.tree.AccessCount() - before
-	sort.Slice(hits, func(i, j int) bool { return hits[i].dist < hits[j].dist })
+	s.pageAccesses.Add(s.tree.AccessCount() - before)
+	// Equal distances are a real occurrence on gridded data; break the tie
+	// by POI ID so the hit order is a total order independent of the
+	// R*-tree's internal layout (the same rule the INE path uses).
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].dist != hits[j].dist {
+			return hits[i].dist < hits[j].dist
+		}
+		return hits[i].poi.ID < hits[j].poi.ID
+	})
 	out := make([]core.POI, len(hits))
 	for i, h := range hits {
 		out[i] = h.poi
@@ -145,16 +173,16 @@ func (s *ServerModule) POIs() []core.POI { return s.pois }
 func (s *ServerModule) Tree() *rtree.Tree { return s.tree }
 
 // Queries returns the number of KNN calls since the last reset.
-func (s *ServerModule) Queries() int64 { return s.queries }
+func (s *ServerModule) Queries() int64 { return s.queries.Load() }
 
 // PageAccesses returns the R*-tree node accesses accumulated by KNN calls
 // since the last reset.
-func (s *ServerModule) PageAccesses() int64 { return s.pageAccesses }
+func (s *ServerModule) PageAccesses() int64 { return s.pageAccesses.Load() }
 
-// ResetStats zeroes the query and page-access counters (used at the end of
-// the warm-up phase).
+// ResetStats zeroes the query and page-access counters. Must not run
+// concurrently with queries.
 func (s *ServerModule) ResetStats() {
-	s.queries = 0
-	s.pageAccesses = 0
+	s.queries.Store(0)
+	s.pageAccesses.Store(0)
 	s.tree.ResetAccessCount()
 }

@@ -8,7 +8,6 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mobility"
 	"repro/internal/spatialnet"
-	"repro/internal/wire"
 )
 
 // host is one mobile host: its movement model, its NN result cache, and its
@@ -35,13 +34,15 @@ type World struct {
 	engine  *stepEngine
 	cellBuf []int32
 
+	// qengine runs each step's query batch through the plan/resolve/commit
+	// pipeline (queryengine.go), fanning the resolve phase across
+	// Config.QueryWorkers goroutines.
+	qengine *queryEngine
+
 	now         float64
 	nextQueryAt float64
-	recording   bool
 	ran         bool
 	metrics     Metrics
-
-	peersBuf []core.PeerCache // scratch for query execution
 
 	// audit, when set, receives every query's final answer (the exact part
 	// the host would act on). Tests use it to cross-check the full pipeline
@@ -143,6 +144,7 @@ func New(cfg Config) (*World, error) {
 	}
 	w.grid.rebuild(w.cellBuf)
 	w.initEngine(cfg.Workers)
+	w.initQueryEngine(cfg.QueryWorkers)
 	if cfg.SeriesWindow > 0 {
 		w.series = newSeriesRecorder(cfg.SeriesWindow)
 	}
@@ -172,6 +174,12 @@ func (w *World) scheduleNextQuery() {
 // steady-state metrics. It can be called once per World: the event clock,
 // warm-up bookkeeping, and host caches are consumed by the run, so a second
 // call would silently report wrong metrics — it panics instead.
+//
+// Each step runs the query pipeline of queryengine.go: plan every query
+// event falling inside the step (all RNG draws, in event order), resolve
+// the batch concurrently against the step-start snapshot, and commit the
+// effects in event order. Metrics — including ServerPageAccesses, summed
+// from per-query counts — cover exactly the events past warm-up.
 func (w *World) Run() Metrics {
 	if w.ran {
 		panic("sim: World.Run called twice; build a new World per run")
@@ -184,195 +192,30 @@ func (w *World) Run() Metrics {
 		if stepEnd > w.cfg.Duration {
 			stepEnd = w.cfg.Duration
 		}
-		// Fire every query event that falls inside this step.
+		// Plan every query event that falls inside this step. Draw order
+		// per event — host, k, inter-arrival gap — matches the serial
+		// implementation, so the random stream is unchanged and independent
+		// of how the resolve phase is scheduled.
 		for w.nextQueryAt <= stepEnd {
-			if !w.recording && w.nextQueryAt >= warmupEnd {
-				w.recording = true
-				w.server.ResetStats()
-			}
-			w.executeQuery()
+			w.qengine.plans = append(w.qengine.plans, queryPlan{
+				at:        w.nextQueryAt,
+				host:      int32(w.rng.Intn(len(w.hosts))),
+				k:         w.cfg.KMin + w.rng.Intn(w.cfg.KMax-w.cfg.KMin+1),
+				recording: w.nextQueryAt >= warmupEnd,
+			})
 			w.scheduleNextQuery()
 		}
+		// Resolve concurrently, commit in event order (bit-identical output
+		// for any Config.QueryWorkers).
+		w.qengine.runBatch()
 		// Advance movement (sharded across Config.Workers goroutines when
 		// configured; output is bit-identical for any worker count).
 		w.advanceMovement(stepEnd - w.now)
 		w.now = stepEnd
 	}
 	w.metrics.MeasuredSeconds = w.cfg.Duration - warmupEnd
-	w.metrics.ServerPageAccesses = w.server.PageAccesses()
 	if w.series != nil {
 		w.seriesPoints = w.series.finish()
 	}
 	return w.metrics
-}
-
-// executeQuery picks a random host and runs one complete SENN query
-// (Algorithm 1) with the simulator's cache policies.
-func (w *World) executeQuery() {
-	h := w.hosts[w.rng.Intn(len(w.hosts))]
-	k := w.cfg.KMin + w.rng.Intn(w.cfg.KMax-w.cfg.KMin+1)
-	q := h.pos
-
-	// Gather shareable cached results: the host's own cache first (the
-	// local-cache check of §4.1), then every peer within transmission
-	// range. The P2P exchange is one broadcast request plus one cache-share
-	// response per peer holding data; its wire cost (internal/wire codec
-	// sizes) is the communication overhead metric.
-	peers := w.peersBuf[:0]
-	if e, ok := h.cache.Entry(); ok {
-		peers = append(peers, e)
-	}
-	msgs, wireBytes := int64(1), int64(wire.CacheRequestSize)
-	tx2 := w.cfg.TxRange * w.cfg.TxRange
-	w.grid.forNeighbors(q, w.cfg.TxRange, func(i int32) {
-		other := w.hosts[i]
-		if other == h {
-			return
-		}
-		if q.Dist2(other.pos) > tx2 {
-			return
-		}
-		if e, ok := other.cache.Entry(); ok {
-			peers = append(peers, e)
-			msgs++
-			wireBytes += int64(wire.CacheShareSize(len(e.Neighbors)))
-		}
-	})
-	w.peersBuf = peers[:0]
-	if w.recording {
-		w.metrics.PeerMessages += msgs
-		w.metrics.PeerBytes += wireBytes
-	}
-
-	// Algorithm 1 over the gathered peer data. The heap is sized at
-	// max(k, C_Size) rather than k: the query itself needs k certain
-	// objects, but cache policy 1 stores *all* the certain nearest
-	// neighbors of the most recent query — the full certified set is still
-	// an exact distance prefix (every POI closer than a certified one is
-	// itself certified), so it is a valid PeerCache and keeps the shared
-	// caches from degrading to the last query's k.
-	heapK := k
-	if c := h.cache.Capacity(); c > heapK {
-		heapK = c
-	}
-	heap := core.NewResultHeap(heapK)
-	answered := func() bool { return heap.NumCertain() >= k }
-
-	sorted := core.SortPeersByProximity(q, peers)
-	solvedSingle := false
-	for _, p := range sorted {
-		core.VerifySinglePeer(q, p, heap)
-		if answered() {
-			solvedSingle = true
-			break
-		}
-	}
-	if !solvedSingle && len(sorted) > 0 {
-		core.VerifyMultiPeer(q, sorted, heap)
-	}
-	if answered() {
-		src := core.SolvedByMultiPeer
-		if solvedSingle {
-			src = core.SolvedBySinglePeer
-		}
-		w.record(src)
-		certain := heap.CertainEntries()
-		w.storeResult(h, q, certain)
-		if w.audit != nil {
-			w.audit(q, k, certain[:k], src)
-		}
-		return
-	}
-	if w.cfg.AcceptUncertain && heap.Len() >= k {
-		w.record(core.SolvedUncertain)
-		// Uncertain results are not exact prefixes: only the certain prefix
-		// may enter the cache.
-		w.storeResult(h, q, heap.CertainEntries())
-		if w.audit != nil {
-			entries := heap.Entries()
-			if len(entries) > k {
-				entries = entries[:k]
-			}
-			w.audit(q, k, entries, core.SolvedUncertain)
-		}
-		return
-	}
-
-	// Server fallback with the §3.3 pruning bounds. Per cache policy 2 the
-	// host tops the request up to its cache capacity. The upper bound — the
-	// k-th smallest distance in H — stays in force: it guarantees the top-k
-	// answer is complete, while letting the EINN search truncate the
-	// opportunistic cache refill early; the refill then holds every POI out
-	// to the bound, which is still an exact prefix and therefore a valid
-	// PeerCache.
-	bounds := heap.Bounds()
-	bounds.HasUpper = false
-	if ub, ok := heap.UpperBoundFor(k); ok {
-		bounds.Upper = ub
-		bounds.HasUpper = true
-	}
-	certain := heap.CertainEntries()
-	fetchCount := heapK - len(certain)
-	fetched := w.server.KNN(q, fetchCount, bounds)
-	w.record(core.SolvedByServer)
-
-	full := make([]core.Candidate, 0, len(certain)+len(fetched))
-	full = append(full, certain...)
-	for _, p := range fetched {
-		full = append(full, core.Candidate{POI: p, Dist: q.Dist(p.Loc), Certain: true})
-	}
-	w.storeResult(h, q, full)
-	if w.audit != nil {
-		n := k
-		if n > len(full) {
-			n = len(full)
-		}
-		w.audit(q, k, full[:n], core.SolvedByServer)
-	}
-}
-
-// record tallies one query outcome when past warm-up; the time series (when
-// enabled) observes every outcome including the warm-up transient.
-func (w *World) record(src core.Source) {
-	if w.series != nil {
-		var s querySource
-		switch src {
-		case core.SolvedBySinglePeer:
-			s = srcSingle
-		case core.SolvedByMultiPeer:
-			s = srcMulti
-		case core.SolvedUncertain:
-			s = srcUncertain
-		default:
-			s = srcServer
-		}
-		w.series.observe(w.nextQueryAt, s)
-	}
-	if !w.recording {
-		return
-	}
-	w.metrics.TotalQueries++
-	switch src {
-	case core.SolvedBySinglePeer:
-		w.metrics.SolvedBySingle++
-	case core.SolvedByMultiPeer:
-		w.metrics.SolvedByMulti++
-	case core.SolvedUncertain:
-		w.metrics.SolvedUncertain++
-	case core.SolvedByServer:
-		w.metrics.SolvedByServer++
-	}
-}
-
-// storeResult applies cache policy 1: keep the query location and the
-// certain NNs of the most recent query.
-func (w *World) storeResult(h *host, q geom.Point, certain []core.Candidate) {
-	if len(certain) == 0 {
-		return // keep the previous entry rather than caching nothing
-	}
-	pois := make([]core.POI, len(certain))
-	for i, c := range certain {
-		pois[i] = c.POI
-	}
-	h.cache.Store(q, pois)
 }
