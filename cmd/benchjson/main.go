@@ -63,11 +63,22 @@ type Speedup struct {
 	MinRatio float64 `json:"min_ratio"` // required by the -minspeedup gate
 }
 
+// AllocGate is one enforced allocs/op ceiling, recorded in the JSON document
+// so the artifact shows the measured count next to the limit. Like the
+// speedup ratios it is machine-independent: an allocation count depends only
+// on the code, never on runner speed.
+type AllocGate struct {
+	Name      string  `json:"name"`
+	AllocsOp  float64 `json:"allocs_per_op"`
+	MaxAllocs float64 `json:"max_allocs"`
+}
+
 // Document is the BENCH_ci.json layout. Benchmarks are sorted by name so
 // regenerated files are byte-diffable.
 type Document struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Speedups   []Speedup   `json:"speedups,omitempty"`
+	AllocGates []AllocGate `json:"alloc_gates,omitempty"`
 }
 
 func main() {
@@ -78,20 +89,23 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.20, "slowdown vs baseline worth reporting (0.20 = +20%)")
 		gateAbs   = flag.Bool("gate-absolute", false,
 			"fail when a benchmark exceeds the baseline tolerance (off: only -minspeedup ratios gate)")
-		update   = flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
-		speedups multiFlag
+		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+		speedups  multiFlag
+		maxallocs multiFlag
 	)
 	flag.Var(&speedups, "minspeedup",
 		"require benchmark B to be at least R× faster than A, as 'A:B:R' (repeatable)")
+	flag.Var(&maxallocs, "maxallocs",
+		"require benchmark NAME to allocate at most N objects per op, as 'NAME:N' (repeatable; needs -benchmem output)")
 	flag.Parse()
 
-	if err := run(*in, *out, *baseline, *tolerance, *gateAbs, *update, speedups); err != nil {
+	if err := run(*in, *out, *baseline, *tolerance, *gateAbs, *update, speedups, maxallocs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, baseline string, tolerance float64, gateAbs, update bool, speedups []string) error {
+func run(in, out, baseline string, tolerance float64, gateAbs, update bool, speedups, maxallocs []string) error {
 	var src io.Reader = os.Stdin
 	if in != "" {
 		f, err := os.Open(in)
@@ -116,6 +130,11 @@ func run(in, out, baseline string, tolerance float64, gateAbs, update bool, spee
 			return err
 		}
 	}
+	for _, spec := range maxallocs {
+		if err := addAllocGate(&doc, spec); err != nil {
+			return err
+		}
+	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -129,6 +148,9 @@ func run(in, out, baseline string, tolerance float64, gateAbs, update bool, spee
 	}
 
 	if err := gateSpeedups(os.Stderr, doc); err != nil {
+		return err
+	}
+	if err := gateAllocs(os.Stderr, doc); err != nil {
 		return err
 	}
 
@@ -309,6 +331,29 @@ func addSpeedup(doc *Document, spec string) error {
 	return nil
 }
 
+// addAllocGate resolves one 'name:maxAllocs' spec against the parsed
+// benchmarks and records the measured allocs/op in doc.AllocGates.
+func addAllocGate(doc *Document, spec string) error {
+	i := strings.LastIndex(spec, ":")
+	if i < 0 {
+		return fmt.Errorf("bad -maxallocs %q: want 'benchName:maxAllocsPerOp'", spec)
+	}
+	name, limit := spec[:i], spec[i+1:]
+	max, err := strconv.ParseFloat(limit, 64)
+	if err != nil {
+		return fmt.Errorf("bad -maxallocs limit %q: %v", limit, err)
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Name == name {
+			doc.AllocGates = append(doc.AllocGates, AllocGate{
+				Name: name, AllocsOp: b.AllocsOp, MaxAllocs: max,
+			})
+			return nil
+		}
+	}
+	return fmt.Errorf("-maxallocs: benchmark %q not in this run", name)
+}
+
 // gateSpeedups enforces every recorded speedup requirement, printing each
 // measured ratio to w.
 func gateSpeedups(w io.Writer, doc Document) error {
@@ -318,6 +363,20 @@ func gateSpeedups(w io.Writer, doc Document) error {
 		if s.Ratio < s.MinRatio {
 			return fmt.Errorf("speedup %s -> %s is %.2fx, want >= %.2fx",
 				s.Slow, s.Fast, s.Ratio, s.MinRatio)
+		}
+	}
+	return nil
+}
+
+// gateAllocs enforces every recorded allocs/op ceiling, printing each
+// measured count to w.
+func gateAllocs(w io.Writer, doc Document) error {
+	for _, g := range doc.AllocGates {
+		fmt.Fprintf(w, "benchjson: allocs %s = %g allocs/op (want <= %g)\n",
+			g.Name, g.AllocsOp, g.MaxAllocs)
+		if g.AllocsOp > g.MaxAllocs {
+			return fmt.Errorf("allocs %s is %g allocs/op, want <= %g",
+				g.Name, g.AllocsOp, g.MaxAllocs)
 		}
 	}
 	return nil

@@ -97,15 +97,68 @@ func TestRatioOnlyGating(t *testing.T) {
 
 	// sample has workers=1 at 8e7 and workers=8 at 2e7 ns/op: a 4x ratio.
 	okSpeedup := []string{"WorldStep/workers=1:WorldStep/workers=8:2.0"}
-	if err := run(benchTxt, out, basePath, 0.20, false, false, okSpeedup); err != nil {
+	if err := run(benchTxt, out, basePath, 0.20, false, false, okSpeedup, nil); err != nil {
 		t.Errorf("absolute regression failed a ratio-only run: %v", err)
 	}
-	if err := run(benchTxt, out, basePath, 0.20, true, false, okSpeedup); err == nil {
+	if err := run(benchTxt, out, basePath, 0.20, true, false, okSpeedup, nil); err == nil {
 		t.Error("-gate-absolute did not fail on a regression beyond tolerance")
 	}
 	badSpeedup := []string{"WorldStep/workers=1:WorldStep/workers=8:9.0"}
-	if err := run(benchTxt, out, basePath, 0.20, false, false, badSpeedup); err == nil {
+	if err := run(benchTxt, out, basePath, 0.20, false, false, badSpeedup, nil); err == nil {
 		t.Error("missed speedup ratio passed a ratio-only run")
+	}
+
+	// The alloc gate rides the same pipeline: workers=8 reports 7 allocs/op
+	// in sample, so a ceiling of 7 passes and a ceiling of 0 fails.
+	okAllocs := []string{"WorldStep/workers=8:7"}
+	if err := run(benchTxt, out, basePath, 0.20, false, false, nil, okAllocs); err != nil {
+		t.Errorf("7 allocs/op failed a <=7 gate: %v", err)
+	}
+	badAllocs := []string{"WorldStep/workers=8:0"}
+	if err := run(benchTxt, out, basePath, 0.20, false, false, nil, badAllocs); err == nil {
+		t.Error("7 allocs/op passed a <=0 gate")
+	}
+}
+
+func TestAllocGateRecording(t *testing.T) {
+	doc := Document{Benchmarks: []Benchmark{
+		{Name: "Resolve/peersolved", NsPerOp: 100, AllocsOp: 0},
+		{Name: "WorldStep/workers=8", NsPerOp: 40, AllocsOp: 7},
+	}}
+	if err := addAllocGate(&doc, "Resolve/peersolved:0"); err != nil {
+		t.Fatalf("addAllocGate: %v", err)
+	}
+	if len(doc.AllocGates) != 1 {
+		t.Fatalf("got %d alloc gates, want 1", len(doc.AllocGates))
+	}
+	if g := doc.AllocGates[0]; g.Name != "Resolve/peersolved" || g.AllocsOp != 0 || g.MaxAllocs != 0 {
+		t.Errorf("recorded alloc gate = %+v, want 0 allocs over a 0 ceiling", g)
+	}
+	if err := gateAllocs(io.Discard, doc); err != nil {
+		t.Errorf("0 allocs/op failed a <=0 requirement: %v", err)
+	}
+
+	// The measured count must land in the JSON artifact, not just on stderr.
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"alloc_gates"`) || !strings.Contains(string(data), `"max_allocs":0`) {
+		t.Errorf("alloc gate missing from JSON document: %s", data)
+	}
+
+	if err := addAllocGate(&doc, "WorldStep/workers=8:3"); err != nil {
+		t.Fatalf("addAllocGate: %v", err)
+	}
+	if err := gateAllocs(io.Discard, doc); err == nil {
+		t.Error("7 allocs/op passed a <=3 requirement")
+	}
+
+	if err := addAllocGate(&doc, "nope"); err == nil {
+		t.Error("malformed spec accepted")
+	}
+	if err := addAllocGate(&doc, "Missing:0"); err == nil {
+		t.Error("spec naming an absent benchmark accepted")
 	}
 }
 

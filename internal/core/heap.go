@@ -205,6 +205,13 @@ func (h *ResultHeap) CertainEntries() []Candidate {
 	return append([]Candidate(nil), h.certain...)
 }
 
+// CertainView is CertainEntries without the copy: the returned slice aliases
+// the heap's backing storage and is valid only until the next Add or Reset.
+// Callers that retain the entries past that point must copy them (or use
+// CertainEntries). It exists so the resolver hot path can stage a result
+// without allocating.
+func (h *ResultHeap) CertainView() []Candidate { return h.certain }
+
 // State classifies the heap per §3.3.
 func (h *ResultHeap) State() HeapState {
 	nc, nu := len(h.certain), len(h.uncertain)

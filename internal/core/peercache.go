@@ -59,12 +59,34 @@ func (pc PeerCache) String() string {
 // SortPeersByProximity orders peer caches in ascending distance between
 // their cached query locations and the query point q. This is Heuristic 3.3:
 // cached query locations closer to Q are more likely to contribute certain
-// neighbors, so processing them first tends to fill the heap sooner.
+// neighbors, so processing them first tends to fill the heap sooner. The
+// input slice is left untouched; hot paths that own their slice should use
+// PeerProximitySorter instead.
 func SortPeersByProximity(q geom.Point, peers []PeerCache) []PeerCache {
 	out := make([]PeerCache, len(peers))
 	copy(out, peers)
-	sort.SliceStable(out, func(i, j int) bool {
-		return q.Dist2(out[i].QueryLoc) < q.Dist2(out[j].QueryLoc)
-	})
+	s := PeerProximitySorter{Q: q, Peers: out}
+	s.Sort()
 	return out
+}
+
+// PeerProximitySorter is the allocation-free, in-place form of
+// SortPeersByProximity for resolver scratch slices. The sort is stable, so
+// peers at equal distance keep their gather order and the resolution stays
+// deterministic for any worker count.
+type PeerProximitySorter struct {
+	Q     geom.Point
+	Peers []PeerCache
+}
+
+// Sort orders Peers in place by ascending distance of their cached query
+// location to Q.
+func (s *PeerProximitySorter) Sort() { sort.Stable(s) }
+
+func (s *PeerProximitySorter) Len() int { return len(s.Peers) }
+func (s *PeerProximitySorter) Less(i, j int) bool {
+	return s.Q.Dist2(s.Peers[i].QueryLoc) < s.Q.Dist2(s.Peers[j].QueryLoc)
+}
+func (s *PeerProximitySorter) Swap(i, j int) {
+	s.Peers[i], s.Peers[j] = s.Peers[j], s.Peers[i]
 }

@@ -56,56 +56,144 @@ func CertainRegion(peers []PeerCache) *geom.Region {
 // covers it (the Figure 7 situation).
 //
 // Candidates are drawn from the union of all peers' cached neighbors;
-// entries already certified in the heap are kept as-is.
+// entries already certified in the heap are kept as-is. This convenience
+// wrapper allocates fresh scratch per call; resolver loops should hold a
+// VerifierScratch and call its method instead.
 func VerifyMultiPeer(q geom.Point, peers []PeerCache, h *ResultHeap) {
-	region := CertainRegion(peers)
-	verifyWithRegion(q, peers, region, h, false)
+	var s VerifierScratch
+	s.VerifyMultiPeer(q, peers, h)
 }
+
+// VerifierScratch holds the reusable buffers of multi-peer verification — the
+// certain region, the candidate dedup map, and the candidate sort slice — so
+// a resolver worker can run VerifyMultiPeer across many queries with zero
+// steady-state heap allocations. The zero value is ready to use. A scratch
+// must not be shared between goroutines.
+type VerifierScratch struct {
+	region *geom.Region
+	seen   map[int64]bool
+	cands  candSorter
+}
+
+// VerifyMultiPeer is the scratch-reusing form of the package-level
+// VerifyMultiPeer, with one algorithmic change: instead of running the
+// arc-arrangement coverage test once per candidate, it computes the region's
+// monotone coverage threshold ρ_max = MaxCoveredRadius(q, ·) once and
+// certifies each candidate by the comparison Dist ≤ ρ_max. Coverage of a disc
+// centered at Q is monotone in its radius, so the verdicts are identical to
+// the per-candidate CoversCircle path (the property test
+// TestMonotoneVerificationMatchesCoversCircle pins this), while the
+// O(candidates × arrangement) loop collapses to one arrangement pass plus a
+// float comparison per candidate.
+func (s *VerifierScratch) VerifyMultiPeer(q geom.Point, peers []PeerCache, h *ResultHeap) {
+	if h.Complete() {
+		return
+	}
+	if s.region == nil {
+		s.region = geom.NewRegion()
+	}
+	s.region.Reset()
+	for _, p := range peers {
+		if !p.IsEmpty() {
+			s.region.Add(p.CertainCircle())
+		}
+	}
+	if s.region.IsEmpty() {
+		return
+	}
+	cands, maxDist := s.gatherCandidates(q, peers)
+	if len(cands) == 0 {
+		return
+	}
+	rho := s.region.MaxCoveredRadius(q, maxDist)
+	for i := range cands {
+		if h.Complete() {
+			return
+		}
+		c := cands[i]
+		if c.Dist <= geom.Eps {
+			// Degenerate candidate at Q itself: certain iff Q is covered,
+			// matching CoversCircle's point-circle rule.
+			c.Certain = s.region.Contains(q)
+		} else {
+			c.Certain = c.Dist <= rho+geom.Eps
+		}
+		h.Add(c)
+	}
+}
+
+// gatherCandidates deduplicates the peers' cached neighbors by POI ID into
+// the scratch slice, sorted by the repo's total order (ascending distance,
+// ties broken by POI ID) so the verification order — and with it the heap's
+// early exit — is independent of peer enumeration order. It returns the
+// scratch-backed slice and the largest candidate distance.
+func (s *VerifierScratch) gatherCandidates(q geom.Point, peers []PeerCache) ([]Candidate, float64) {
+	if s.seen == nil {
+		s.seen = make(map[int64]bool)
+	} else {
+		clear(s.seen)
+	}
+	s.cands = s.cands[:0]
+	maxDist := 0.0
+	for _, p := range peers {
+		for _, n := range p.Neighbors {
+			if s.seen[n.ID] {
+				continue
+			}
+			s.seen[n.ID] = true
+			d := q.Dist(n.Loc)
+			if d > maxDist {
+				maxDist = d
+			}
+			s.cands = append(s.cands, Candidate{POI: n, Dist: d})
+		}
+	}
+	sort.Sort(&s.cands)
+	return s.cands, maxDist
+}
+
+// candSorter orders candidates by ascending distance with equal distances
+// broken by POI ID — the same total order INE and ServerModule.Range use.
+// It implements sort.Interface on the pointer receiver so sorting the
+// scratch slice does not allocate (sort.Slice's closure and reflect-based
+// swapper both escape to the heap).
+type candSorter []Candidate
+
+func (s *candSorter) Len() int { return len(*s) }
+func (s *candSorter) Less(i, j int) bool {
+	a, b := (*s)[i], (*s)[j]
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+func (s *candSorter) Swap(i, j int) { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
 
 // VerifyMultiPeerPolygonized is VerifyMultiPeer using the paper's
 // polygonization + overlay construction at the given fidelity (vertices per
 // circle) instead of the exact arc-coverage test. Its "certain" verdicts are
 // a conservative subset of VerifyMultiPeer's.
+//
+// Unlike the exact path, this variant keeps the per-candidate coverage loop:
+// the polygonized predicate's sliver thresholds scale with the candidate
+// area, so it is not strictly monotone in the radius, and as the
+// paper-faithful reference implementation it stays off the query hot path.
 func VerifyMultiPeerPolygonized(q geom.Point, peers []PeerCache, h *ResultHeap, vertices int) {
 	region := CertainRegion(peers)
 	if vertices > 0 {
 		region.SetPolygonVertices(vertices)
 	}
-	verifyWithRegion(q, peers, region, h, true)
-}
-
-// verifyWithRegion is the kNN_multiple candidate loop over an explicit
-// region. Candidates are processed in ascending distance so the loop can
-// stop as soon as the heap is complete: every remaining candidate is at
-// least as far as the current k-th certain neighbor and could not enter the
-// result. polygonized selects the paper-faithful polygonization coverage
-// test instead of the exact arc method (both are sound; see geom.Region).
-func verifyWithRegion(q geom.Point, peers []PeerCache, region *geom.Region, h *ResultHeap, polygonized bool) {
 	if region.IsEmpty() {
 		return
 	}
-	seen := make(map[int64]bool)
-	var cands []Candidate
-	for _, p := range peers {
-		for _, n := range p.Neighbors {
-			if seen[n.ID] {
-				continue
-			}
-			seen[n.ID] = true
-			cands = append(cands, Candidate{POI: n, Dist: q.Dist(n.Loc)})
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Dist < cands[j].Dist })
-	for _, c := range cands {
+	var s VerifierScratch
+	cands, _ := s.gatherCandidates(q, peers)
+	for i := range cands {
 		if h.Complete() {
 			return
 		}
-		circle := geom.NewCircle(q, c.Dist)
-		if polygonized {
-			c.Certain = region.CoversCirclePolygonized(circle)
-		} else {
-			c.Certain = region.CoversCircle(circle)
-		}
+		c := cands[i]
+		c.Certain = region.CoversCirclePolygonized(geom.NewCircle(q, c.Dist))
 		h.Add(c)
 	}
 }

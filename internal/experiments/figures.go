@@ -14,18 +14,23 @@ import (
 )
 
 // SeriesPoint is one x position of a sweep with the three query-resolution
-// shares the paper's Figures 9–16 plot. When Options.Repeats > 1 the shares
-// are means over the repeated runs and the Std fields carry their sample
-// standard deviations (zero for a single run).
+// shares the paper's Figures 9–16 plot, plus the communication-overhead and
+// server page-access series the same runs produce. When Options.Repeats > 1
+// every value is a mean over the repeated runs and the Std fields carry their
+// sample standard deviations (zero for a single run).
 type SeriesPoint struct {
 	X           float64 // swept parameter value
 	ShareSingle float64 // % solved by a single peer
 	ShareMulti  float64 // % solved by multiple peers
 	ShareServer float64 // % solved by the server (SQRR)
+	CommBytes   float64 // mean P2P wire bytes per query
+	ServerPages float64 // mean R*-tree page accesses per server-resolved query
 
 	StdSingle float64 // stddev of ShareSingle across repeats
 	StdMulti  float64 // stddev of ShareMulti across repeats
 	StdServer float64 // stddev of ShareServer across repeats
+	StdComm   float64 // stddev of CommBytes across repeats
+	StdPages  float64 // stddev of ServerPages across repeats
 }
 
 // FigureResult is one sub-figure: a sweep for one region.
@@ -76,6 +81,11 @@ type Options struct {
 	// independent samples. Repeated runs of the same point always draw
 	// distinct seeds.
 	CommonRandomNumbers bool
+	// PerQueryGather forwards sim.Config.PerQueryGather to every launched
+	// simulation: each query re-sweeps the host grid instead of reading the
+	// batched per-cell snapshots. Output is bit-identical either way; the
+	// determinism CI job diffs the two modes through this switch.
+	PerQueryGather bool
 }
 
 // normalize fills defaults.
@@ -129,10 +139,12 @@ func sweepSeed(baseSeed int64, opts Options, i, rep int) int64 {
 // shareSample is one run's contribution to a sweep point.
 type shareSample struct {
 	single, multi, server float64
+	bytes, pages          float64
 }
 
 // aggregateShares folds the repeated samples of one x into its SeriesPoint:
-// mean shares plus their sample standard deviation (zero for n = 1).
+// mean shares, communication overhead, and page accesses, plus their sample
+// standard deviations (zero for n = 1).
 func aggregateShares(x float64, samples []shareSample) SeriesPoint {
 	n := float64(len(samples))
 	var p SeriesPoint
@@ -141,17 +153,23 @@ func aggregateShares(x float64, samples []shareSample) SeriesPoint {
 		p.ShareSingle += s.single / n
 		p.ShareMulti += s.multi / n
 		p.ShareServer += s.server / n
+		p.CommBytes += s.bytes / n
+		p.ServerPages += s.pages / n
 	}
 	if len(samples) > 1 {
-		var vs, vm, vv float64
+		var vs, vm, vv, vb, vp float64
 		for _, s := range samples {
 			vs += (s.single - p.ShareSingle) * (s.single - p.ShareSingle)
 			vm += (s.multi - p.ShareMulti) * (s.multi - p.ShareMulti)
 			vv += (s.server - p.ShareServer) * (s.server - p.ShareServer)
+			vb += (s.bytes - p.CommBytes) * (s.bytes - p.CommBytes)
+			vp += (s.pages - p.ServerPages) * (s.pages - p.ServerPages)
 		}
 		p.StdSingle = math.Sqrt(vs / (n - 1))
 		p.StdMulti = math.Sqrt(vm / (n - 1))
 		p.StdServer = math.Sqrt(vv / (n - 1))
+		p.StdComm = math.Sqrt(vb / (n - 1))
+		p.StdPages = math.Sqrt(vp / (n - 1))
 	}
 	return p
 }
@@ -175,6 +193,7 @@ func runSweep(base sim.Config, xs []float64, opts Options, mut func(cfg *sim.Con
 				cfg.Seed = sweepSeed(base.Seed, opts, i, rep)
 				cfg.Workers = move
 				cfg.QueryWorkers = query
+				cfg.PerQueryGather = opts.PerQueryGather
 				mut(&cfg, x)
 				w, err := sim.New(cfg)
 				if err != nil {
@@ -185,6 +204,8 @@ func runSweep(base sim.Config, xs []float64, opts Options, mut func(cfg *sim.Con
 					single: m.ShareSingle(),
 					multi:  m.ShareMulti(),
 					server: m.SQRR(),
+					bytes:  m.PeerBytesPerQuery(),
+					pages:  m.PagesPerServerQuery(),
 				}
 				return nil
 			}
@@ -299,6 +320,7 @@ func FreeMovementComparison(r Region, a Area, opts Options) (road, free float64,
 				cfg.Seed += opts.Seed + int64(rep)*7919
 				cfg.Workers = move
 				cfg.QueryWorkers = query
+				cfg.PerQueryGather = opts.PerQueryGather
 				w, werr := sim.New(cfg)
 				if werr != nil {
 					return werr
@@ -464,13 +486,32 @@ func EINNvsINN(r Region, a Area, queries int, opts Options) (Fig17Result, error)
 // ---------------------------------------------------------------------------
 // Text rendering.
 
-// FormatFigure renders a figure result as an aligned text table.
+// FormatFigure renders a figure result as an aligned text table. With
+// repeated runs (any nonzero Std field) every value is shown as mean±std.
 func FormatFigure(fr FigureResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure %s — %s (%s)\n", fr.Figure, fr.Region, fr.Area)
-	fmt.Fprintf(&b, "%-26s %14s %14s %14s\n", fr.XLabel, "single-peer %", "multi-peer %", "server %")
+	fmt.Fprintf(&b, "%-26s %14s %14s %14s %16s %14s\n",
+		fr.XLabel, "single-peer %", "multi-peer %", "server %", "bytes/query", "pages/srv-query")
+	withStd := false
 	for _, p := range fr.Points {
-		fmt.Fprintf(&b, "%-26.0f %14.1f %14.1f %14.1f\n", p.X, p.ShareSingle, p.ShareMulti, p.ShareServer)
+		if p.StdSingle != 0 || p.StdMulti != 0 || p.StdServer != 0 || p.StdComm != 0 || p.StdPages != 0 {
+			withStd = true
+			break
+		}
+	}
+	for _, p := range fr.Points {
+		if withStd {
+			fmt.Fprintf(&b, "%-26.0f %14s %14s %14s %16s %14s\n", p.X,
+				fmt.Sprintf("%.1f±%.1f", p.ShareSingle, p.StdSingle),
+				fmt.Sprintf("%.1f±%.1f", p.ShareMulti, p.StdMulti),
+				fmt.Sprintf("%.1f±%.1f", p.ShareServer, p.StdServer),
+				fmt.Sprintf("%.0f±%.0f", p.CommBytes, p.StdComm),
+				fmt.Sprintf("%.1f±%.1f", p.ServerPages, p.StdPages))
+		} else {
+			fmt.Fprintf(&b, "%-26.0f %14.1f %14.1f %14.1f %16.0f %14.1f\n",
+				p.X, p.ShareSingle, p.ShareMulti, p.ShareServer, p.CommBytes, p.ServerPages)
+		}
 	}
 	return b.String()
 }

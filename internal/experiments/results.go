@@ -16,18 +16,23 @@ import (
 // `cmd/experiments -parallel 1` against a run with both parallelism levels
 // enabled.
 
-// FigurePointJSON is one sweep point of a Figures 9–16 series. The std
-// fields carry the sample standard deviation across Options.Repeats runs
-// and are omitted for single-run sweeps, keeping those documents
-// byte-identical with the pre-Repeats format.
+// FigurePointJSON is one sweep point of a Figures 9–16 series: the three
+// resolution shares plus the communication-overhead and server page-access
+// series of the same runs. The std fields carry the sample standard
+// deviation across Options.Repeats runs and are omitted for single-run
+// sweeps.
 type FigurePointJSON struct {
 	X           float64 `json:"x"`
 	ShareSingle float64 `json:"single_peer_pct"`
 	ShareMulti  float64 `json:"multi_peer_pct"`
 	ShareServer float64 `json:"server_pct"`
+	CommBytes   float64 `json:"comm_bytes_per_query"`
+	ServerPages float64 `json:"pages_per_server_query"`
 	StdSingle   float64 `json:"single_peer_std,omitempty"`
 	StdMulti    float64 `json:"multi_peer_std,omitempty"`
 	StdServer   float64 `json:"server_std,omitempty"`
+	StdComm     float64 `json:"comm_bytes_std,omitempty"`
+	StdPages    float64 `json:"pages_std,omitempty"`
 }
 
 // FigureRegionJSON is one sub-figure (one region's series).
@@ -65,9 +70,13 @@ func WriteFigureJSON(dir string, frs []FigureResult) error {
 				ShareSingle: p.ShareSingle,
 				ShareMulti:  p.ShareMulti,
 				ShareServer: p.ShareServer,
+				CommBytes:   p.CommBytes,
+				ServerPages: p.ServerPages,
 				StdSingle:   p.StdSingle,
 				StdMulti:    p.StdMulti,
 				StdServer:   p.StdServer,
+				StdComm:     p.StdComm,
+				StdPages:    p.StdPages,
 			}
 		}
 		doc.Regions = append(doc.Regions, FigureRegionJSON{

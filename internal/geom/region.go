@@ -17,8 +17,9 @@ const DefaultPolygonVertices = 32
 // centered at Q through n_i is fully covered by R_c (Lemma 3.8).
 type Region struct {
 	circles    []Circle
-	vertices   int      // polygonization fidelity
-	overlapBuf []Circle // scratch, reused across CoversCircle calls
+	vertices   int         // polygonization fidelity
+	overlapBuf []Circle    // scratch, reused across CoversCircle calls
+	arcBuf     []regionArc // scratch, reused across MaxCoveredRadius calls
 }
 
 // NewRegion returns the union of the given circles. Zero-radius circles are
@@ -41,6 +42,11 @@ func (r *Region) SetPolygonVertices(n int) {
 
 // Add extends the region with another disc.
 func (r *Region) Add(c Circle) { r.circles = append(r.circles, c) }
+
+// Reset clears the region's discs in place, retaining allocated capacity and
+// the polygonization fidelity, so a scratch Region can be rebuilt across
+// queries without heap churn.
+func (r *Region) Reset() { r.circles = r.circles[:0] }
 
 // Circles returns a copy of the discs whose union forms the region.
 func (r *Region) Circles() []Circle {
@@ -284,25 +290,179 @@ func (r *Region) CoversCirclePolygonized(c Circle) bool {
 	return left <= math.Max(c.Area()*1e-7, 1e-10)
 }
 
-// MaxCoveredRadius returns the largest radius rad such that the disc centered
-// at p with radius rad is covered by the region, computed by binary search
-// over CoversCircle. It returns 0 when even the point p is uncovered. hi
-// bounds the search from above.
+// regionArc is an angular interval [lo, hi] ⊆ [0, 2π] of one disc's boundary
+// covered by another disc; scratch storage for MaxCoveredRadius.
+type regionArc struct{ lo, hi float64 }
+
+// MaxCoveredRadius returns the largest radius rad (capped at hi) such that the
+// disc centered at p with radius rad is covered by the region — the monotone
+// coverage threshold ρ_max(p). Coverage at a fixed center is monotone in the
+// radius, so CoversCircle(NewCircle(p, rad)) holds exactly for rad ≤ ρ_max (up
+// to the shared Eps conventions), which lets a verifier replace per-candidate
+// coverage tests with one threshold computation and a distance comparison.
+// It returns 0 when p itself is uncovered, or covered only by zero-radius
+// point circles (which contribute no interior).
+//
+// The threshold is computed exactly in one pass over the disc arrangement:
+// ρ_max is the distance from p to the nearest *exposed* boundary point of the
+// union — a point on some disc's boundary circle that is not strictly interior
+// to any other disc. For each disc, the angular intervals of its boundary
+// covered by the other discs are merged (the same law-of-cosines arcs
+// CoversCircle uses); the uncovered gaps yield the candidate distances: the
+// radial projection of p when its direction falls inside a gap, or the gap
+// endpoints otherwise. Gap endpoints are exactly the arrangement's
+// intersection vertices, so interior holes of the union need no separate
+// treatment — their corners are gap endpoints too.
 func (r *Region) MaxCoveredRadius(p Point, hi float64) float64 {
-	if !r.Contains(p) || hi <= 0 {
+	if hi <= 0 {
 		return 0
 	}
-	lo := 0.0
-	if r.CoversCircle(NewCircle(p, hi)) {
-		return hi
-	}
-	for i := 0; i < 40 && hi-lo > Eps*(1+hi); i++ {
-		mid := (lo + hi) / 2
-		if r.CoversCircle(NewCircle(p, mid)) {
-			lo = mid
-		} else {
-			hi = mid
+	coveredPositive := false
+	for _, c := range r.circles {
+		if c.Radius > Eps && c.Contains(p) {
+			coveredPositive = true
+			break
 		}
 	}
-	return lo
+	if !coveredPositive {
+		return 0
+	}
+	best := hi
+	for i := range r.circles {
+		ci := r.circles[i]
+		if ci.Radius <= Eps {
+			continue // point circles have no boundary arcs and no interior
+		}
+		d := p.Dist(ci.Center)
+		if near := math.Abs(d - ci.Radius); near >= best {
+			continue // every point of this boundary is at least near away
+		}
+		if dist, exposed := r.nearestExposedOnCircle(p, i, d); exposed && dist < best {
+			best = dist
+		}
+	}
+	return best
+}
+
+// nearestExposedOnCircle returns the minimum distance from p to an exposed
+// point of circle i's boundary; d is the precomputed distance from p to that
+// circle's center. exposed is false when the other discs cover the boundary
+// entirely.
+func (r *Region) nearestExposedOnCircle(p Point, i int, d float64) (float64, bool) {
+	ci := r.circles[i]
+	arcs := r.arcBuf[:0]
+	for j := range r.circles {
+		if j == i {
+			continue
+		}
+		cj := r.circles[j]
+		if cj.Radius <= Eps {
+			continue
+		}
+		D := ci.Center.Dist(cj.Center)
+		if D+ci.Radius <= cj.Radius+Eps {
+			// cj covers this whole boundary. Mutually-covering discs
+			// (identical up to Eps) tie-break by index so exactly one of them
+			// keeps the shared boundary — otherwise duplicates would erase
+			// each other and the boundary would vanish from the arrangement.
+			if D+cj.Radius <= ci.Radius+Eps && j > i {
+				continue
+			}
+			r.arcBuf = arcs
+			return 0, false
+		}
+		if D >= cj.Radius+ci.Radius || cj.Radius+D <= ci.Radius {
+			continue // boundary circles don't interact
+		}
+		cosPhi := (D*D + ci.Radius*ci.Radius - cj.Radius*cj.Radius) / (2 * D * ci.Radius)
+		if cosPhi > 1 {
+			cosPhi = 1
+		} else if cosPhi < -1 {
+			cosPhi = -1
+		}
+		phi := math.Acos(cosPhi)
+		theta := math.Atan2(cj.Center.Y-ci.Center.Y, cj.Center.X-ci.Center.X)
+		lo, hiAng := theta-phi, theta+phi
+		// Normalize into [0, 2π) and split wrap-around arcs.
+		lo = math.Mod(lo+4*math.Pi, 2*math.Pi)
+		hiAng = math.Mod(hiAng+4*math.Pi, 2*math.Pi)
+		if lo <= hiAng {
+			arcs = append(arcs, regionArc{lo, hiAng})
+		} else {
+			arcs = append(arcs, regionArc{lo, 2 * math.Pi}, regionArc{0, hiAng})
+		}
+	}
+	r.arcBuf = arcs
+	// Angle of p as seen from the circle's center (arbitrary when p is at the
+	// center, where the distance below is R for every gap angle anyway).
+	thetaP := math.Atan2(p.Y-ci.Center.Y, p.X-ci.Center.X)
+	if thetaP < 0 {
+		thetaP += 2 * math.Pi
+	}
+	if len(arcs) == 0 {
+		return math.Abs(d - ci.Radius), true // whole boundary exposed
+	}
+	// Insertion sort: arc counts are small (≤ 2·discs) and sorting in place
+	// keeps the hot path allocation-free.
+	for k := 1; k < len(arcs); k++ {
+		a := arcs[k]
+		m := k - 1
+		for m >= 0 && arcs[m].lo > a.lo {
+			arcs[m+1] = arcs[m]
+			m--
+		}
+		arcs[m+1] = a
+	}
+	const angEps = 1e-12
+	minDist := math.Inf(1)
+	gap := func(gLo, gHi float64) {
+		if gHi-gLo <= angEps {
+			return
+		}
+		var ang float64
+		if thetaP >= gLo && thetaP <= gHi {
+			ang = 0
+		} else {
+			ang = math.Min(circAngleDiff(thetaP, gLo), circAngleDiff(thetaP, gHi))
+		}
+		// Law of cosines: distance from p to the boundary point at angular
+		// offset ang from p's direction. Distance grows with the circular
+		// offset, so the nearest gap point is p's radial projection when it
+		// falls inside the gap and the circularly nearest endpoint otherwise.
+		v := d*d + ci.Radius*ci.Radius - 2*d*ci.Radius*math.Cos(ang)
+		if v < 0 {
+			v = 0
+		}
+		if dist := math.Sqrt(v); dist < minDist {
+			minDist = dist
+		}
+	}
+	if arcs[0].lo > angEps {
+		gap(0, arcs[0].lo)
+	}
+	reach := arcs[0].hi
+	for _, a := range arcs[1:] {
+		if a.lo > reach+angEps {
+			gap(reach, a.lo)
+		}
+		if a.hi > reach {
+			reach = a.hi
+		}
+	}
+	if reach < 2*math.Pi-angEps {
+		gap(reach, 2*math.Pi)
+	}
+	if math.IsInf(minDist, 1) {
+		return 0, false
+	}
+	return minDist, true
+}
+
+// circAngleDiff returns the circular distance between two angles in [0, 2π).
+func circAngleDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
 }

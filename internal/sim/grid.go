@@ -55,12 +55,27 @@ func (g cellGeom) cellIndex(p geom.Point) int32 {
 	return int32(cy*g.nx + cx)
 }
 
+// rawCell returns the unclamped cell coordinates of p — the anchor forCells
+// derives its neighborhood from. Unlike cellIndex it does not clamp
+// out-of-bounds positions into the border cells, so two points share a
+// rawCell exactly when forCells enumerates the same cell set for both (the
+// property the batched gather's per-cell snapshots rely on).
+func (g cellGeom) rawCell(p geom.Point) (cx, cy int) {
+	return int((p.X - g.origin.X) / g.cell), int((p.Y - g.origin.Y) / g.cell)
+}
+
 // forCells invokes fn for every cell whose square could intersect the disc of
 // radius r around p, in row-major order.
 func (g cellGeom) forCells(p geom.Point, r float64, fn func(c int32)) {
+	cx, cy := g.rawCell(p)
+	g.forCellsAt(cx, cy, r, fn)
+}
+
+// forCellsAt is forCells anchored at explicit raw cell coordinates, so a
+// caller that groups points by rawCell can enumerate one shared neighborhood
+// for all of them.
+func (g cellGeom) forCellsAt(cx, cy int, r float64, fn func(c int32)) {
 	reach := int(r/g.cell) + 1
-	cx := int((p.X - g.origin.X) / g.cell)
-	cy := int((p.Y - g.origin.Y) / g.cell)
 	for dy := -reach; dy <= reach; dy++ {
 		y := cy + dy
 		if y < 0 || y >= g.ny {

@@ -56,10 +56,44 @@ type queryResult struct {
 }
 
 // resolverScratch is one worker's private buffers, reused across the
-// queries of its shard.
+// queries of its shard. Together with the engine-level snapshot buffers it
+// makes the steady-state peer-solved resolve path allocation-free
+// (TestResolveAllocsPeerSolved pins it at zero).
 type resolverScratch struct {
-	peers []core.PeerCache
-	heap  *core.ResultHeap
+	peers  []core.PeerCache
+	heap   *core.ResultHeap
+	verify core.VerifierScratch
+	sorter core.PeerProximitySorter
+	// poiArena backs the POI slices handed to cache.Stage. It is reset at
+	// batch start, not per query: staged slices must stay intact until the
+	// commit phase reads them (cache.Store copies on Apply, so nothing
+	// references arena memory across batches).
+	poiArena []core.POI
+	// full merges certified heap entries with server-fetched POIs on the
+	// fallback path.
+	full []core.Candidate
+}
+
+// snapPeer is one shareable peer cache inside a cell-neighborhood snapshot:
+// the owning host, its step-start position for the resolver's exact TxRange
+// filter, the cache entry, and the precomputed wire size of sharing it.
+type snapPeer struct {
+	host  int32
+	pos   geom.Point
+	entry core.PeerCache
+	share int64
+}
+
+// cellSnap is the peer-cache snapshot of one grid-cell neighborhood,
+// gathered once per batch and shared by every query whose point falls in
+// that cell (the per-step spatial join). peers holds the hosts of the cell's
+// forCells neighborhood that have a cache entry, in the exact order
+// forNeighbors would enumerate them, so a resolver filtering it by host
+// index and TxRange sees the identical peer sequence a per-query grid sweep
+// would produce.
+type cellSnap struct {
+	cx, cy int
+	peers  []snapPeer
 }
 
 // queryEngine owns the batch buffers and worker scratch of the
@@ -70,6 +104,11 @@ type queryEngine struct {
 	scratch []*resolverScratch
 	plans   []queryPlan
 	results []queryResult
+	// Batched-gather state (unused when Config.PerQueryGather is set):
+	// snapOf[i] is the index into snaps of plan i's cell snapshot.
+	snapOf  []int32
+	cellIdx map[[2]int]int32 // raw cell coords -> snaps index
+	snaps   []cellSnap
 }
 
 func newQueryEngine(w *World, workers int) *queryEngine {
@@ -101,6 +140,12 @@ func (e *queryEngine) runBatch() {
 		e.results = make([]queryResult, n)
 	}
 	e.results = e.results[:n]
+	for _, sc := range e.scratch {
+		sc.poiArena = sc.poiArena[:0]
+	}
+	if !e.w.cfg.PerQueryGather {
+		e.gatherCells()
+	}
 
 	workers := e.workers
 	if workers > n {
@@ -109,14 +154,14 @@ func (e *queryEngine) runBatch() {
 	if workers <= 1 {
 		sc := e.scratch[0]
 		for i := range e.plans {
-			e.results[i] = e.resolve(&e.plans[i], sc)
+			e.results[i] = e.resolve(&e.plans[i], i, sc)
 		}
 	} else {
 		shards := splitRange(n, workers)
 		runWorkers(len(shards), func(s int) {
 			sc := e.scratch[s]
 			for i := shards[s][0]; i < shards[s][1]; i++ {
-				e.results[i] = e.resolve(&e.plans[i], sc)
+				e.results[i] = e.resolve(&e.plans[i], i, sc)
 			}
 		})
 	}
@@ -127,11 +172,94 @@ func (e *queryEngine) runBatch() {
 	e.plans = e.plans[:0]
 }
 
+// gatherCells is the batched per-step spatial join: it groups the batch's
+// queries by the raw grid cell of their query point and snapshots each
+// distinct cell neighborhood's shareable peer caches once, instead of
+// re-sweeping the host grid per query. The snapshot is sound because the
+// resolve phase is a pure read of step-start state — host positions and
+// caches cannot change until every resolve has finished (commits run after
+// the fan-out), so a cache entry captured here is exactly what a per-query
+// sweep would read mid-batch.
+func (e *queryEngine) gatherCells() {
+	w := e.w
+	if e.cellIdx == nil {
+		e.cellIdx = make(map[[2]int]int32)
+	} else {
+		clear(e.cellIdx)
+	}
+	e.snaps = e.snaps[:0]
+	if cap(e.snapOf) < len(e.plans) {
+		e.snapOf = make([]int32, len(e.plans))
+	}
+	e.snapOf = e.snapOf[:len(e.plans)]
+	for i := range e.plans {
+		q := w.hosts[e.plans[i].host].pos
+		cx, cy := w.grid.rawCell(q)
+		key := [2]int{cx, cy}
+		idx, ok := e.cellIdx[key]
+		if !ok {
+			idx = int32(len(e.snaps))
+			e.cellIdx[key] = idx
+			// Extend without clobbering: reslicing into spare capacity keeps
+			// the retired element's peers buffer for reuse.
+			if len(e.snaps) < cap(e.snaps) {
+				e.snaps = e.snaps[:len(e.snaps)+1]
+			} else {
+				e.snaps = append(e.snaps, cellSnap{})
+			}
+			s := &e.snaps[idx]
+			s.cx, s.cy = cx, cy
+			s.peers = s.peers[:0]
+		}
+		e.snapOf[i] = idx
+	}
+
+	// Distinct cells are independent, so the snapshot fill fans out across
+	// the resolve workers; each worker writes only its own snaps slots.
+	if e.workers <= 1 || len(e.snaps) == 1 {
+		for i := range e.snaps {
+			e.fillSnap(&e.snaps[i])
+		}
+	} else {
+		workers := e.workers
+		if workers > len(e.snaps) {
+			workers = len(e.snaps)
+		}
+		shards := splitRange(len(e.snaps), workers)
+		runWorkers(len(shards), func(s int) {
+			for i := shards[s][0]; i < shards[s][1]; i++ {
+				e.fillSnap(&e.snaps[i])
+			}
+		})
+	}
+}
+
+// fillSnap captures one cell neighborhood's shareable caches in forNeighbors
+// enumeration order (cells row-major, hosts ascending within a cell).
+func (e *queryEngine) fillSnap(s *cellSnap) {
+	w := e.w
+	w.grid.forCellsAt(s.cx, s.cy, w.cfg.TxRange, func(c int32) {
+		for _, hi := range w.grid.entries[w.grid.start[c]:w.grid.start[c+1]] {
+			if ent, ok := w.hosts[hi].cache.Entry(); ok {
+				s.peers = append(s.peers, snapPeer{
+					host:  hi,
+					pos:   w.hosts[hi].pos,
+					entry: ent,
+					share: int64(wire.CacheShareSize(len(ent.Neighbors))),
+				})
+			}
+		}
+	})
+}
+
 // resolve runs one complete SENN query (Algorithm 1) against the step-start
 // snapshot: peer gather, kNN_single/kNN_multiple verification, then the
 // server fallback with the §3.3 pruning bounds. It only reads world state —
-// every effect is returned in the queryResult for the commit phase.
-func (e *queryEngine) resolve(p *queryPlan, sc *resolverScratch) queryResult {
+// every effect is returned in the queryResult for the commit phase. idx is
+// the plan's batch position (it keys the cell snapshot under batched
+// gather). The peer-solved path performs no heap allocations in steady
+// state.
+func (e *queryEngine) resolve(p *queryPlan, idx int, sc *resolverScratch) queryResult {
 	w := e.w
 	h := w.hosts[p.host]
 	k := p.k
@@ -142,27 +270,45 @@ func (e *queryEngine) resolve(p *queryPlan, sc *resolverScratch) queryResult {
 	// local-cache check of §4.1), then every peer within transmission
 	// range. The P2P exchange is one broadcast request plus one cache-share
 	// response per peer holding data; its wire cost (internal/wire codec
-	// sizes) is the communication overhead metric.
+	// sizes) is the communication overhead metric. Under batched gather the
+	// peer sweep reads the query cell's shared snapshot; both modes visit
+	// the identical peer sequence (see cellSnap).
 	peers := sc.peers[:0]
 	if ent, ok := h.cache.Entry(); ok {
 		peers = append(peers, ent)
 	}
 	res.msgs, res.bytes = 1, int64(wire.CacheRequestSize)
 	tx2 := w.cfg.TxRange * w.cfg.TxRange
-	w.grid.forNeighbors(q, w.cfg.TxRange, func(i int32) {
-		other := w.hosts[i]
-		if other == h {
-			return
-		}
-		if q.Dist2(other.pos) > tx2 {
-			return
-		}
-		if ent, ok := other.cache.Entry(); ok {
-			peers = append(peers, ent)
+	if w.cfg.PerQueryGather {
+		w.grid.forNeighbors(q, w.cfg.TxRange, func(i int32) {
+			other := w.hosts[i]
+			if other == h {
+				return
+			}
+			if q.Dist2(other.pos) > tx2 {
+				return
+			}
+			if ent, ok := other.cache.Entry(); ok {
+				peers = append(peers, ent)
+				res.msgs++
+				res.bytes += int64(wire.CacheShareSize(len(ent.Neighbors)))
+			}
+		})
+	} else {
+		snap := &e.snaps[e.snapOf[idx]]
+		for j := range snap.peers {
+			sp := &snap.peers[j]
+			if sp.host == p.host {
+				continue
+			}
+			if q.Dist2(sp.pos) > tx2 {
+				continue
+			}
+			peers = append(peers, sp.entry)
 			res.msgs++
-			res.bytes += int64(wire.CacheShareSize(len(ent.Neighbors)))
+			res.bytes += sp.share
 		}
-	})
+	}
 	sc.peers = peers[:0]
 
 	// Algorithm 1 over the gathered peer data. The heap is sized at
@@ -180,27 +326,36 @@ func (e *queryEngine) resolve(p *queryPlan, sc *resolverScratch) queryResult {
 	heap.Reset(heapK)
 	answered := func() bool { return heap.NumCertain() >= k }
 
-	sorted := core.SortPeersByProximity(q, peers)
+	// Heuristic 3.3 ordering, in place: the resolver owns the peers slice,
+	// so the copying SortPeersByProximity would only add garbage.
+	sc.sorter.Q = q
+	sc.sorter.Peers = peers
+	sc.sorter.Sort()
 	solvedSingle := false
-	for _, pc := range sorted {
+	for _, pc := range peers {
 		core.VerifySinglePeer(q, pc, heap)
 		if answered() {
 			solvedSingle = true
 			break
 		}
 	}
-	if !solvedSingle && len(sorted) > 0 {
-		core.VerifyMultiPeer(q, sorted, heap)
+	if !solvedSingle && len(peers) > 0 {
+		sc.verify.VerifyMultiPeer(q, peers, heap)
 	}
 	if answered() {
 		res.src = core.SolvedByMultiPeer
 		if solvedSingle {
 			res.src = core.SolvedBySinglePeer
 		}
-		certain := heap.CertainEntries()
-		res.write = stageResult(q, certain)
+		// CertainView aliases the heap scratch; the arena copy made for the
+		// staged write is what outlives this call.
+		certain := heap.CertainView()
+		res.write = sc.stageResult(q, certain)
 		if w.audit != nil {
-			res.answer = certain[:k]
+			// The audit callback retains the answer past this worker's next
+			// query, so it gets a private copy (test-only path; allocation
+			// is fine here).
+			res.answer = append([]core.Candidate(nil), certain[:k]...)
 		}
 		return res
 	}
@@ -208,7 +363,7 @@ func (e *queryEngine) resolve(p *queryPlan, sc *resolverScratch) queryResult {
 		res.src = core.SolvedUncertain
 		// Uncertain results are not exact prefixes: only the certain prefix
 		// may enter the cache.
-		res.write = stageResult(q, heap.CertainEntries())
+		res.write = sc.stageResult(q, heap.CertainView())
 		if w.audit != nil {
 			entries := heap.Entries()
 			if len(entries) > k {
@@ -232,24 +387,25 @@ func (e *queryEngine) resolve(p *queryPlan, sc *resolverScratch) queryResult {
 		bounds.Upper = ub
 		bounds.HasUpper = true
 	}
-	certain := heap.CertainEntries()
+	certain := heap.CertainView()
 	fetchCount := heapK - len(certain)
 	fetched, pages := w.server.KNNCounted(q, fetchCount, bounds)
 	res.src = core.SolvedByServer
 	res.pages = pages
 
-	full := make([]core.Candidate, 0, len(certain)+len(fetched))
+	full := sc.full[:0]
 	full = append(full, certain...)
 	for _, poi := range fetched {
 		full = append(full, core.Candidate{POI: poi, Dist: q.Dist(poi.Loc), Certain: true})
 	}
-	res.write = stageResult(q, full)
+	sc.full = full
+	res.write = sc.stageResult(q, full)
 	if w.audit != nil {
 		nk := k
 		if nk > len(full) {
 			nk = len(full)
 		}
-		res.answer = full[:nk]
+		res.answer = append([]core.Candidate(nil), full[:nk]...)
 	}
 	return res
 }
@@ -299,13 +455,19 @@ func (e *queryEngine) commit(p *queryPlan, r *queryResult) {
 // location and the certain NNs of the most recent query. An empty certain
 // set stages nothing — the previous entry is kept rather than caching
 // nothing.
-func stageResult(q geom.Point, certain []core.Candidate) cache.StagedWrite {
+//
+// The POI copy lives in the worker's arena, which runBatch resets at batch
+// start: the staged slice only needs to survive until the commit phase,
+// where cache.Store copies it into the host cache. A mid-batch arena growth
+// leaves earlier slices pointing at the retired backing array, which stays
+// valid (and unreused) until the next batch.
+func (sc *resolverScratch) stageResult(q geom.Point, certain []core.Candidate) cache.StagedWrite {
 	if len(certain) == 0 {
 		return cache.StagedWrite{}
 	}
-	pois := make([]core.POI, len(certain))
-	for i, c := range certain {
-		pois[i] = c.POI
+	base := len(sc.poiArena)
+	for _, c := range certain {
+		sc.poiArena = append(sc.poiArena, c.POI)
 	}
-	return cache.Stage(q, pois)
+	return cache.Stage(q, sc.poiArena[base:len(sc.poiArena):len(sc.poiArena)])
 }

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// warmResolveWorld builds a dense world and pushes query batches through it
+// until the peer caches are widely populated, so peer-solved resolutions are
+// common and every scratch buffer has reached its steady-state capacity.
+func warmResolveWorld(tb testing.TB) *World {
+	cfg := smallConfig()
+	cfg.NumHosts = 600
+	w, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e := w.qengine
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 6; round++ {
+		e.plans = e.plans[:0]
+		for i := 0; i < 400; i++ {
+			e.plans = append(e.plans, queryPlan{
+				at:   float64(i),
+				host: int32(rng.Intn(len(w.hosts))),
+				k:    w.cfg.KMin + rng.Intn(w.cfg.KMax-w.cfg.KMin+1),
+			})
+		}
+		e.runBatch()
+		w.advanceMovement(30)
+	}
+	return w
+}
+
+// peerSolvedPlans scans the warmed world for up to want queries that resolve
+// without the server, covering both the single-peer and (when the population
+// produces one) the multi-peer verification path.
+func peerSolvedPlans(tb testing.TB, w *World, want int) []queryPlan {
+	e := w.qengine
+	sc := e.scratch[0]
+	var plans []queryPlan
+	for hi := 0; hi < len(w.hosts) && len(plans) < want; hi++ {
+		for _, k := range []int{w.cfg.KMin, w.cfg.KMax} {
+			p := queryPlan{host: int32(hi), k: k}
+			e.plans = append(e.plans[:0], p)
+			e.gatherCells()
+			sc.poiArena = sc.poiArena[:0]
+			res := e.resolve(&p, 0, sc)
+			if res.src == core.SolvedBySinglePeer || res.src == core.SolvedByMultiPeer {
+				plans = append(plans, p)
+				break
+			}
+		}
+	}
+	if len(plans) == 0 {
+		tb.Fatal("warmed world produced no peer-solved queries; warm-up broken")
+	}
+	return plans
+}
+
+// TestResolveAllocsPeerSolved is the zero-allocation regression gate for the
+// resolve hot path: once the per-worker scratch (peer slice, heap, verifier
+// region, POI arena) is warm, resolving a peer-solved batch must not touch
+// the allocator at all.
+func TestResolveAllocsPeerSolved(t *testing.T) {
+	w := warmResolveWorld(t)
+	plans := peerSolvedPlans(t, w, 32)
+	e := w.qengine
+	sc := e.scratch[0]
+	e.plans = append(e.plans[:0], plans...)
+	e.gatherCells()
+	resolveAll := func() {
+		sc.poiArena = sc.poiArena[:0] // the batch-start reset runBatch performs
+		for i := range plans {
+			e.resolve(&plans[i], i, sc)
+		}
+	}
+	resolveAll() // warm the scratch capacities
+	if allocs := testing.AllocsPerRun(50, resolveAll); allocs != 0 {
+		t.Errorf("peer-solved resolve path allocates %v objects per batch, want 0", allocs)
+	}
+}
+
+// TestBatchedGatherMatchesPerQuery is the spatial-join oracle: the batched
+// per-cell snapshot gather and the per-query grid sweep must produce
+// bit-identical simulations — metrics, time series, and every audited
+// per-query answer included.
+func TestBatchedGatherMatchesPerQuery(t *testing.T) {
+	type answer struct {
+		Q     geom.Point
+		K     int
+		Src   core.Source
+		IDs   []int64
+		Dists []float64
+	}
+	capture := func(perQuery bool) []byte {
+		cfg := smallConfig()
+		cfg.Duration = 300
+		cfg.SeriesWindow = 60
+		cfg.QueryWorkers = 4
+		cfg.PerQueryGather = perQuery
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var answers []answer
+		w.SetAudit(func(q geom.Point, k int, ans []core.Candidate, src core.Source) {
+			a := answer{Q: q, K: k, Src: src}
+			for _, c := range ans {
+				a.IDs = append(a.IDs, c.ID)
+				a.Dists = append(a.Dists, c.Dist)
+			}
+			answers = append(answers, a)
+		})
+		m := w.Run()
+		data, err := json.Marshal(struct {
+			Metrics Metrics
+			Series  []WindowPoint
+			Answers []answer
+		}{m, w.Series(), answers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	batched := capture(false)
+	perQuery := capture(true)
+	if len(batched) == 0 || !bytes.Equal(batched, perQuery) {
+		t.Errorf("batched gather diverged from per-query gather:\nbatched:  %.200s\nperquery: %.200s",
+			batched, perQuery)
+	}
+}
+
+// BenchmarkResolve measures the resolve hot path in isolation on a
+// peer-solved batch (no server fallback, no commit). The CI bench job runs
+// it with -benchmem and gates allocs/op at zero.
+func BenchmarkResolve(b *testing.B) {
+	w := warmResolveWorld(b)
+	plans := peerSolvedPlans(b, w, 64)
+	e := w.qengine
+	e.plans = append(e.plans[:0], plans...)
+	e.gatherCells()
+	sc := e.scratch[0]
+	b.Run("peersolved", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sc.poiArena = sc.poiArena[:0]
+			for j := range plans {
+				e.resolve(&plans[j], j, sc)
+			}
+		}
+	})
+}
