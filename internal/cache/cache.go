@@ -33,6 +33,15 @@ func New(capacity int) *Cache {
 	return &Cache{capacity: capacity}
 }
 
+// Make is New as a value: simulators that keep one cache per host store
+// them in a single contiguous slice instead of a million heap objects.
+func Make(capacity int) Cache {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	return Cache{capacity: capacity}
+}
+
 // Capacity returns C_Size. Per policy 2 it is also the result count a host
 // requests when it must contact the server.
 func (c *Cache) Capacity() int { return c.capacity }

@@ -73,6 +73,7 @@ type ResultHeap struct {
 	certain   []Candidate
 	uncertain []Candidate
 	byID      map[int64]bool
+	dists     []float64 // UpperBoundFor scratch, reused across queries
 }
 
 // NewResultHeap returns an empty heap for a query requesting k neighbors.
@@ -267,13 +268,14 @@ func (h *ResultHeap) UpperBoundFor(k int) (float64, bool) {
 	if h.Len() < k || k <= 0 {
 		return 0, false
 	}
-	dists := make([]float64, 0, h.Len())
+	dists := h.dists[:0]
 	for _, c := range h.certain {
 		dists = append(dists, c.Dist)
 	}
 	for _, c := range h.uncertain {
 		dists = append(dists, c.Dist)
 	}
+	h.dists = dists
 	sort.Float64s(dists)
 	return dists[k-1], true
 }

@@ -86,6 +86,12 @@ type Options struct {
 	// batched per-cell snapshots. Output is bit-identical either way; the
 	// determinism CI job diffs the two modes through this switch.
 	PerQueryGather bool
+	// FullRebuild forwards sim.Config.FullRebuild to every launched
+	// simulation: the host grid is rebuilt from scratch after each movement
+	// step instead of patched from the moved-host delta. Output is
+	// bit-identical either way; the determinism CI job diffs the two modes
+	// through this switch.
+	FullRebuild bool
 }
 
 // normalize fills defaults.
@@ -194,6 +200,7 @@ func runSweep(base sim.Config, xs []float64, opts Options, mut func(cfg *sim.Con
 				cfg.Workers = move
 				cfg.QueryWorkers = query
 				cfg.PerQueryGather = opts.PerQueryGather
+				cfg.FullRebuild = opts.FullRebuild
 				mut(&cfg, x)
 				w, err := sim.New(cfg)
 				if err != nil {
@@ -321,6 +328,7 @@ func FreeMovementComparison(r Region, a Area, opts Options) (road, free float64,
 				cfg.Workers = move
 				cfg.QueryWorkers = query
 				cfg.PerQueryGather = opts.PerQueryGather
+				cfg.FullRebuild = opts.FullRebuild
 				w, werr := sim.New(cfg)
 				if werr != nil {
 					return werr

@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// treeItem is the concrete-typed twin of queueItem for traversals of the
+// in-memory R*-tree. Holding rtree.Node by value (a two-pointer struct)
+// instead of the TreeNode interface is what keeps TreeIterator free of
+// allocations: the generic path boxes a wrapper node per page fetch and a
+// queueItem per heap.Push.
+type treeItem struct {
+	dist     float64
+	isNode   bool
+	parent   rtree.Node // the node itself when isRoot; the owner of childIdx otherwise
+	childIdx int
+	isRoot   bool
+	rect     geom.Rect
+	data     any
+}
+
+// TreeIterator is Iterator specialized to *rtree.Tree with caller-owned,
+// reusable state: the priority queue lives in the iterator and survives
+// Reset, so a steady-state incremental NN search performs no heap
+// allocations. It implements the same INN/EINN semantics as Iterator —
+// identical pruning rules, identical heap discipline (the sift routines
+// mirror container/heap), and identical page accounting (one access for the
+// root fetch plus one per child fetch, like CountedSource) — so the two
+// produce the same result sequence and the same access counts over the same
+// tree. The query engine's resolve workers each own one as per-worker
+// scratch for the server-resolved path.
+type TreeIterator struct {
+	query  geom.Point
+	bounds Bounds
+	pq     []treeItem
+	pages  int64
+	done   bool
+}
+
+// Reset starts a new incremental NN search from q over t, honoring b. The
+// page counter restarts at 1 (the root fetch — counted even for an empty
+// tree, exactly as CountedSource.Root does).
+func (it *TreeIterator) Reset(t *rtree.Tree, q geom.Point, b Bounds) {
+	it.query = q
+	it.bounds = b
+	it.pq = it.pq[:0]
+	it.pages = 1
+	it.done = false
+	root, ok := t.Root()
+	if !ok {
+		it.done = true
+		return
+	}
+	it.pq = append(it.pq, treeItem{dist: 0, isNode: true, isRoot: true, parent: root})
+}
+
+// Pages returns the page accesses performed since the last Reset.
+func (it *TreeIterator) Pages() int64 { return it.pages }
+
+// Next returns the next nearest neighbor beyond the lower bound, or ok=false
+// when the search is exhausted (no more objects, or all remaining search
+// paths exceed the upper bound).
+func (it *TreeIterator) Next() (Result, bool) {
+	lo, hi := it.bounds.lower(), it.bounds.upper()
+	for !it.done && len(it.pq) > 0 {
+		item := it.pop()
+		if item.dist > hi {
+			// Everything still queued is at least this far: stop for good.
+			it.done = true
+			return Result{}, false
+		}
+		if !item.isNode {
+			return Result{Point: item.rect.Center(), Data: item.data, Dist: item.dist}, true
+		}
+		nd := item.parent
+		if !item.isRoot {
+			nd = item.parent.Child(item.childIdx)
+			it.pages++
+		}
+		for i := 0; i < nd.Len(); i++ {
+			r := nd.Rect(i)
+			mind := r.MinDist(it.query)
+			if mind > hi {
+				continue // upward pruning
+			}
+			if nd.IsLeaf() {
+				if mind <= lo {
+					continue // object already certain at the client
+				}
+				it.push(treeItem{dist: mind, rect: r, data: nd.Data(i)})
+				continue
+			}
+			if it.bounds.HasLower && r.MaxDist(it.query) <= lo {
+				continue // downward pruning: MBR inside the certain circle
+			}
+			it.push(treeItem{dist: mind, isNode: true, parent: nd, childIdx: i})
+		}
+	}
+	it.done = true
+	return Result{}, false
+}
+
+// push, pop, up, down replicate container/heap's sift discipline exactly
+// (including tie behavior), so the visit order matches Iterator's
+// bit-for-bit.
+func (it *TreeIterator) push(x treeItem) {
+	it.pq = append(it.pq, x)
+	it.up(len(it.pq) - 1)
+}
+
+func (it *TreeIterator) pop() treeItem {
+	n := len(it.pq) - 1
+	it.pq[0], it.pq[n] = it.pq[n], it.pq[0]
+	it.down(0, n)
+	x := it.pq[n]
+	it.pq = it.pq[:n]
+	return x
+}
+
+func (it *TreeIterator) up(j int) {
+	pq := it.pq
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(pq[j].dist < pq[i].dist) {
+			break
+		}
+		pq[i], pq[j] = pq[j], pq[i]
+		j = i
+	}
+}
+
+func (it *TreeIterator) down(i0, n int) {
+	pq := it.pq
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && pq[j2].dist < pq[j1].dist {
+			j = j2
+		}
+		if !(pq[j].dist < pq[i].dist) {
+			break
+		}
+		pq[i], pq[j] = pq[j], pq[i]
+		i = j
+	}
+}

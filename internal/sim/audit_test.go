@@ -141,8 +141,8 @@ func TestCachesDoNotCollapseAtLowK(t *testing.T) {
 	}
 	_ = w.Run()
 	withCache, total := 0, 0.0
-	for _, h := range w.hosts {
-		if e, ok := h.cache.Entry(); ok {
+	for i := range w.caches {
+		if e, ok := w.caches[i].Entry(); ok {
 			withCache++
 			total += float64(len(e.Neighbors))
 		}

@@ -70,8 +70,15 @@ type Config struct {
 	Duration float64
 	// WarmupFraction is the share of Duration excluded from metrics so the
 	// system reaches steady state (the paper records results only after
-	// steady state). Default 0.25 when zero.
+	// steady state). Default 0.25 when zero; a literal zero warm-up is
+	// requested with NoWarmup (a float field cannot distinguish an explicit
+	// 0 from unset).
 	WarmupFraction float64
+	// NoWarmup records metrics from t=0. It exists because WarmupFraction=0
+	// used to silently mean "default to 0.25": callers who want the warm-up
+	// transient measured set this instead. Combining it with a non-zero
+	// WarmupFraction is a validation error.
+	NoWarmup bool
 	// Mode selects road-network or free movement.
 	Mode Mode
 	// MaxPause is the random waypoint pause ceiling in seconds.
@@ -115,6 +122,14 @@ type Config struct {
 	// the flag exists so the determinism CI job can diff them and as an
 	// escape hatch for memory-constrained runs.
 	PerQueryGather bool
+	// FullRebuild disables incremental grid maintenance: every movement step
+	// recomputes the host grid with the full counting rebuild instead of
+	// applying the moved-host delta, and the gather phase's dirty-cell
+	// snapshot reuse is off (a full rebuild reports no per-cell change
+	// information). Both modes produce bit-identical simulation output; the
+	// flag exists so the determinism CI job can diff them, mirroring
+	// PerQueryGather.
+	FullRebuild bool
 	// Seed makes runs reproducible.
 	Seed int64
 }
@@ -155,7 +170,10 @@ func (c Config) Validate() (Config, error) {
 	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
 		return c, fmt.Errorf("sim: WarmupFraction must be in [0,1)")
 	}
-	if c.WarmupFraction == 0 {
+	if c.NoWarmup && c.WarmupFraction != 0 {
+		return c, fmt.Errorf("sim: NoWarmup conflicts with WarmupFraction %v", c.WarmupFraction)
+	}
+	if c.WarmupFraction == 0 && !c.NoWarmup {
 		c.WarmupFraction = 0.25
 	}
 	if c.StepSeconds <= 0 {

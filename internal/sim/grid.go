@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+
 	"repro/internal/geom"
 )
 
@@ -11,6 +13,7 @@ import (
 type cellGeom struct {
 	origin geom.Point
 	cell   float64
+	inv    float64 // 1/cell: cell assignment is a multiply, not a divide
 	nx, ny int
 }
 
@@ -29,19 +32,33 @@ func newCellGeom(bounds geom.Rect, cell float64) cellGeom {
 	if cell <= 0 {
 		cell = 1
 	}
+	// Ceil, not trunc+1: when the area is an exact multiple of the cell size
+	// the old int(dim/cell)+1 allocated a dead extra row and column (a 1M-host
+	// grid carried a whole empty rim). Boundary positions at exactly dim land
+	// in raw cell nx and are clamped into the border cells, same as any other
+	// out-of-range position.
+	nx := int(math.Ceil(bounds.Width() / cell))
+	if nx < 1 {
+		nx = 1
+	}
+	ny := int(math.Ceil(bounds.Height() / cell))
+	if ny < 1 {
+		ny = 1
+	}
 	return cellGeom{
 		origin: bounds.Min,
 		cell:   cell,
-		nx:     int(bounds.Width()/cell) + 1,
-		ny:     int(bounds.Height()/cell) + 1,
+		inv:    1 / cell,
+		nx:     nx,
+		ny:     ny,
 	}
 }
 
 func (g cellGeom) numCells() int { return g.nx * g.ny }
 
 func (g cellGeom) cellIndex(p geom.Point) int32 {
-	cx := int((p.X - g.origin.X) / g.cell)
-	cy := int((p.Y - g.origin.Y) / g.cell)
+	cx := int((p.X - g.origin.X) * g.inv)
+	cy := int((p.Y - g.origin.Y) * g.inv)
 	if cx < 0 {
 		cx = 0
 	} else if cx >= g.nx {
@@ -55,13 +72,23 @@ func (g cellGeom) cellIndex(p geom.Point) int32 {
 	return int32(cy*g.nx + cx)
 }
 
+// floorCell is floor(v) as an int. Plain int(v) truncates toward zero, which
+// would fold v in (-1, 0) onto cell 0 — see rawCell.
+func floorCell(v float64) int {
+	return int(math.Floor(v))
+}
+
 // rawCell returns the unclamped cell coordinates of p — the anchor forCells
 // derives its neighborhood from. Unlike cellIndex it does not clamp
 // out-of-bounds positions into the border cells, so two points share a
 // rawCell exactly when forCells enumerates the same cell set for both (the
-// property the batched gather's per-cell snapshots rely on).
+// property the batched gather's per-cell snapshots rely on). The division
+// floors: a point just left of or below the origin must land in raw cell -1,
+// not alias the in-bounds points of cell 0 (truncation toward zero used to
+// merge the two, handing both groups one neighborhood and violating the
+// contract above).
 func (g cellGeom) rawCell(p geom.Point) (cx, cy int) {
-	return int((p.X - g.origin.X) / g.cell), int((p.Y - g.origin.Y) / g.cell)
+	return floorCell((p.X - g.origin.X) * g.inv), floorCell((p.Y - g.origin.Y) * g.inv)
 }
 
 // forCells invokes fn for every cell whose square could intersect the disc of
@@ -73,8 +100,22 @@ func (g cellGeom) forCells(p geom.Point, r float64, fn func(c int32)) {
 
 // forCellsAt is forCells anchored at explicit raw cell coordinates, so a
 // caller that groups points by rawCell can enumerate one shared neighborhood
-// for all of them.
+// for all of them. Out-of-range anchors are clamped onto the border cells
+// first: cellIndex files out-of-bounds hosts into the border cells, so an
+// out-of-bounds query point must derive its neighborhood from there too (the
+// clamped anchor is still a pure function of the raw cell, preserving the
+// rawCell grouping contract).
 func (g cellGeom) forCellsAt(cx, cy int, r float64, fn func(c int32)) {
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.ny {
+		cy = g.ny - 1
+	}
 	reach := int(r/g.cell) + 1
 	for dy := -reach; dy <= reach; dy++ {
 		y := cy + dy
@@ -105,9 +146,10 @@ func (g cellGeom) forCellsAt(cx, cy int, r float64, fn func(c int32)) {
 // metric) independent of the movement phase's parallelism.
 type hostGrid struct {
 	cellGeom
-	start   []int32 // bucket boundaries, len numCells+1
-	entries []int32 // host indices, ascending within each bucket
-	counts  []int32 // scratch for sequential rebuilds
+	start   []int32      // bucket boundaries, len numCells+1
+	entries []int32      // host indices, ascending within each bucket
+	counts  []int32      // scratch for sequential rebuilds
+	delta   deltaScratch // scratch for incremental maintenance (gridinc.go)
 }
 
 // newHostGrid builds an index over bounds for n hosts with the given cell

@@ -3,7 +3,6 @@ package sim
 import (
 	"sync"
 
-	"repro/internal/mobility"
 	"repro/internal/spatialnet"
 )
 
@@ -12,23 +11,28 @@ import (
 // goroutine between steps, so the Poisson event stream is untouched; the
 // query batch itself resolves through the queryEngine (queryengine.go).
 //
-// Determinism: each host's trajectory depends only on its own model state
-// (every model owns a private RNG), so advancing hosts concurrently cannot
-// change where anyone ends up. Grid maintenance is a two-phase counting
-// rebuild: shard s's block inside every cell bucket starts where shard
-// s-1's ends, and each shard places its hosts in ascending index order, so
-// buckets come out sorted by host index for ANY shard layout. forNeighbors
-// enumeration — and with it the peer list every query gathers — is
-// therefore bit-identical whatever the worker count.
+// Determinism: each host's trajectory depends only on its own movement state
+// (every mover owns a private RNG), so advancing hosts concurrently cannot
+// change where anyone ends up. Grid maintenance consumes the per-shard
+// cell-crossing deltas concatenated in shard order — ascending host index
+// for ANY shard layout, since shards are contiguous ranges of the ascending
+// moving-host list — so hostGrid.applyDelta sees the identical mover
+// sequence whatever the worker count, and forNeighbors enumeration (and
+// with it the peer list every query gathers) is bit-identical. The
+// Config.FullRebuild escape hatch runs the old three-phase counting rebuild
+// instead; both produce byte-identical start/entries arrays.
 type stepEngine struct {
-	world   *World
-	workers int
-	shards  [][2]int // per-worker [lo,hi) host-index ranges
-	ranges  [][2]int // per-worker [lo,hi) cell ranges for the offset pass
-	newCell []int32  // cell of host i after the advance
-	counts  [][]int32
-	// rangeTotal / rangeStart carry the per-cell-range entry counts through
-	// the tiny sequential prefix between the parallel passes.
+	world    *World
+	workers  int
+	shards   [][2]int     // per-worker [lo,hi) ranges over the moving-host list
+	movers   []moverRec   // per-step delta, concatenated in shard order
+	moverBuf [][]moverRec // per-shard crossing records
+
+	// Full-rebuild scratch (Config.FullRebuild only; allocated on first
+	// use): per-worker cell counts plus the two-level prefix buffers.
+	hostShards [][2]int // per-worker [lo,hi) host ranges for count/placement
+	cellRanges [][2]int // per-worker [lo,hi) cell ranges for the offset pass
+	counts     [][]int32
 	rangeTotal []int32
 	rangeStart []int32
 }
@@ -53,23 +57,12 @@ func splitRange(n, k int) [][2]int {
 }
 
 func newStepEngine(w *World, workers int) *stepEngine {
-	n := len(w.hosts)
-	if workers > n {
-		workers = n
-	}
 	e := &stepEngine{
 		world:   w,
 		workers: workers,
-		shards:  splitRange(n, workers),
-		ranges:  splitRange(w.grid.numCells(), workers),
-		newCell: make([]int32, n),
-		counts:  make([][]int32, workers),
+		shards:  splitRange(len(w.moving), workers),
 	}
-	for s := range e.counts {
-		e.counts[s] = make([]int32, w.grid.numCells())
-	}
-	e.rangeTotal = make([]int32, len(e.ranges))
-	e.rangeStart = make([]int32, len(e.ranges))
+	e.moverBuf = make([][]moverRec, len(e.shards))
 	return e
 }
 
@@ -89,33 +82,95 @@ func runWorkers(n int, fn func(s int)) {
 	wg.Wait()
 }
 
-// step advances every host by dt and rebuilds the host grid.
+// step advances every moving host by dt and maintains the host grid —
+// incrementally from the cell-crossing delta, or by a full counting rebuild
+// under Config.FullRebuild.
 func (e *stepEngine) step(dt float64) {
 	w := e.world
 	g := w.grid
 
-	// Phase A — advance each shard's hosts and count cell occupancy.
+	// Phase A — advance each shard of the moving list, recording every
+	// cell crossing. Stationary hosts are never visited.
 	runWorkers(len(e.shards), func(s int) {
+		buf := e.moverBuf[s][:0]
+		lo, hi := e.shards[s][0], e.shards[s][1]
+		if w.wp != nil {
+			for j := lo; j < hi; j++ {
+				i := w.moving[j]
+				p := w.wp.Advance(int(i), w.pos[i], dt)
+				w.pos[i] = p
+				if c := g.cellIndex(p); c != w.cells[i] {
+					buf = append(buf, moverRec{host: i, from: w.cells[i], to: c})
+					w.cells[i] = c
+				}
+			}
+		} else {
+			for j := lo; j < hi; j++ {
+				i := w.moving[j]
+				p := w.road[j].Advance(dt)
+				w.pos[i] = p
+				if c := g.cellIndex(p); c != w.cells[i] {
+					buf = append(buf, moverRec{host: i, from: w.cells[i], to: c})
+					w.cells[i] = c
+				}
+			}
+		}
+		e.moverBuf[s] = buf
+	})
+
+	if w.cfg.FullRebuild {
+		e.fullRebuild()
+		w.noteFullRebuild()
+		return
+	}
+
+	// Concatenate the shard deltas in shard order: contiguous shards of the
+	// ascending moving list keep the movers in ascending host order, which
+	// applyDelta requires.
+	e.movers = e.movers[:0]
+	for s := range e.moverBuf {
+		e.movers = append(e.movers, e.moverBuf[s]...)
+	}
+	w.noteCellChanges(g.applyDelta(w.cells, e.movers, e.workers))
+}
+
+// fullRebuild recomputes the whole index from w.cells with the sharded
+// three-phase counting rebuild (count per host shard, two-level prefix,
+// placement at per-shard cursors). Bucket c holds shard 0's block, then
+// shard 1's, and so on; each shard places its hosts in ascending index
+// order, so buckets come out sorted by host index for ANY shard layout.
+func (e *stepEngine) fullRebuild() {
+	w := e.world
+	g := w.grid
+	if e.counts == nil {
+		e.hostShards = splitRange(len(w.pos), e.workers)
+		e.cellRanges = splitRange(g.numCells(), e.workers)
+		e.counts = make([][]int32, len(e.hostShards))
+		for s := range e.counts {
+			e.counts[s] = make([]int32, g.numCells())
+		}
+		e.rangeTotal = make([]int32, len(e.cellRanges))
+		e.rangeStart = make([]int32, len(e.cellRanges))
+	}
+
+	// Phase B0 — count cell occupancy per host shard.
+	runWorkers(len(e.hostShards), func(s int) {
 		counts := e.counts[s]
 		for c := range counts {
 			counts[c] = 0
 		}
-		lo, hi := e.shards[s][0], e.shards[s][1]
+		lo, hi := e.hostShards[s][0], e.hostShards[s][1]
 		for i := lo; i < hi; i++ {
-			h := w.hosts[i]
-			h.pos = h.model.Advance(dt)
-			c := g.cellIndex(h.pos)
-			e.newCell[i] = c
-			counts[c]++
+			counts[w.cells[i]]++
 		}
 	})
 
 	// Phase B — turn counts into bucket starts and per-shard placement
 	// cursors. B1 totals each worker's cell range; a tiny sequential prefix
 	// over the O(workers) totals seeds B2, which lays out the cells of each
-	// range: bucket c holds shard 0's block, then shard 1's, and so on.
-	runWorkers(len(e.ranges), func(s int) {
-		lo, hi := e.ranges[s][0], e.ranges[s][1]
+	// range.
+	runWorkers(len(e.cellRanges), func(s int) {
+		lo, hi := e.cellRanges[s][0], e.cellRanges[s][1]
 		var tot int32
 		for c := lo; c < hi; c++ {
 			for _, counts := range e.counts {
@@ -129,8 +184,8 @@ func (e *stepEngine) step(dt float64) {
 		e.rangeStart[s] = pos
 		pos += e.rangeTotal[s]
 	}
-	runWorkers(len(e.ranges), func(s int) {
-		lo, hi := e.ranges[s][0], e.ranges[s][1]
+	runWorkers(len(e.cellRanges), func(s int) {
+		lo, hi := e.cellRanges[s][0], e.cellRanges[s][1]
 		pos := e.rangeStart[s]
 		for c := lo; c < hi; c++ {
 			g.start[c] = pos
@@ -141,14 +196,14 @@ func (e *stepEngine) step(dt float64) {
 			}
 		}
 	})
-	g.start[len(g.start)-1] = int32(len(w.hosts))
+	g.start[len(g.start)-1] = int32(len(w.pos))
 
 	// Phase C — place each shard's hosts at its cursors, in index order.
-	runWorkers(len(e.shards), func(s int) {
+	runWorkers(len(e.hostShards), func(s int) {
 		counts := e.counts[s]
-		lo, hi := e.shards[s][0], e.shards[s][1]
+		lo, hi := e.hostShards[s][0], e.hostShards[s][1]
 		for i := lo; i < hi; i++ {
-			c := e.newCell[i]
+			c := w.cells[i]
 			g.entries[counts[c]] = int32(i)
 			counts[c]++
 		}
@@ -161,8 +216,8 @@ func (e *stepEngine) step(dt float64) {
 // paths it returns are a pure function of the graph, so trajectories do not
 // depend on which finder a host holds.
 func (w *World) initEngine(workers int) {
-	if workers > len(w.hosts) {
-		workers = len(w.hosts)
+	if workers > len(w.moving) {
+		workers = len(w.moving)
 	}
 	if workers <= 1 {
 		w.engine = nil
@@ -174,24 +229,61 @@ func (w *World) initEngine(workers int) {
 	}
 	for _, sh := range w.engine.shards {
 		finder := spatialnet.NewPathFinder(w.roads)
-		for i := sh[0]; i < sh[1]; i++ {
-			if rm, ok := w.hosts[i].model.(*mobility.RoadNetwork); ok {
-				rm.SetFinder(finder)
-			}
+		for j := sh[0]; j < sh[1]; j++ {
+			w.road[j].SetFinder(finder)
 		}
 	}
 }
 
-// advanceMovement runs one movement step: every host's mobility model, then
-// the deterministic index-ordered grid rebuild.
+// noteCellChanges advances the dirty-cell clock and stamps the cells whose
+// membership changed this step; snapshots whose neighborhood includes a
+// stamped cell are refilled by the next gather.
+func (w *World) noteCellChanges(affected []int32) {
+	w.clock++
+	for _, c := range affected {
+		w.cellStamp[c] = w.clock
+	}
+}
+
+// noteFullRebuild advances the clock and invalidates every cached snapshot:
+// a counting rebuild reports no per-cell change information.
+func (w *World) noteFullRebuild() {
+	w.clock++
+	w.fullStamp = w.clock
+}
+
+// advanceMovement runs one movement step: every moving host's trajectory,
+// then deterministic grid maintenance.
 func (w *World) advanceMovement(dt float64) {
 	if w.engine != nil {
 		w.engine.step(dt)
 		return
 	}
-	for i, h := range w.hosts {
-		h.pos = h.model.Advance(dt)
-		w.cellBuf[i] = w.grid.cellIndex(h.pos)
+	g := w.grid
+	w.movers = w.movers[:0]
+	if w.wp != nil {
+		for _, i := range w.moving {
+			p := w.wp.Advance(int(i), w.pos[i], dt)
+			w.pos[i] = p
+			if c := g.cellIndex(p); c != w.cells[i] {
+				w.movers = append(w.movers, moverRec{host: i, from: w.cells[i], to: c})
+				w.cells[i] = c
+			}
+		}
+	} else {
+		for j, i := range w.moving {
+			p := w.road[j].Advance(dt)
+			w.pos[i] = p
+			if c := g.cellIndex(p); c != w.cells[i] {
+				w.movers = append(w.movers, moverRec{host: i, from: w.cells[i], to: c})
+				w.cells[i] = c
+			}
+		}
 	}
-	w.grid.rebuild(w.cellBuf)
+	if w.cfg.FullRebuild {
+		g.rebuild(w.cells)
+		w.noteFullRebuild()
+		return
+	}
+	w.noteCellChanges(g.applyDelta(w.cells, w.movers, 1))
 }

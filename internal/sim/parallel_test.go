@@ -207,8 +207,8 @@ func TestEngineGridMatchesSequentialRebuild(t *testing.T) {
 	cells := make([]int32, cfg.NumHosts)
 	for step := 0; step < 30; step++ {
 		w.engine.step(cfg.StepSeconds)
-		for i, h := range w.hosts {
-			cells[i] = ref.cellIndex(h.pos)
+		for i, p := range w.pos {
+			cells[i] = ref.cellIndex(p)
 		}
 		ref.rebuild(cells)
 		if !reflect.DeepEqual(w.grid.start, ref.start) {

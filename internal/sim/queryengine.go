@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/nn"
 	"repro/internal/wire"
 )
 
@@ -57,8 +58,9 @@ type queryResult struct {
 
 // resolverScratch is one worker's private buffers, reused across the
 // queries of its shard. Together with the engine-level snapshot buffers it
-// makes the steady-state peer-solved resolve path allocation-free
-// (TestResolveAllocsPeerSolved pins it at zero).
+// makes the steady-state resolve path — peer-solved and server-solved alike
+// — allocation-free (TestResolveAllocsPeerSolved and
+// TestResolveAllocsServerSolved pin both at zero).
 type resolverScratch struct {
 	peers  []core.PeerCache
 	heap   *core.ResultHeap
@@ -72,29 +74,49 @@ type resolverScratch struct {
 	// full merges certified heap entries with server-fetched POIs on the
 	// fallback path.
 	full []core.Candidate
+	// it and fetched are the server path's traversal scratch: the EINN
+	// iterator's priority queue and the fetched-POI destination both
+	// survive across queries.
+	it      nn.TreeIterator
+	fetched []core.POI
 }
 
 // snapPeer is one shareable peer cache inside a cell-neighborhood snapshot:
-// the owning host, its step-start position for the resolver's exact TxRange
-// filter, the cache entry, and the precomputed wire size of sharing it.
+// the owning host, the cache entry, and the precomputed wire size of sharing
+// it. The host's position is deliberately NOT captured: resolvers read it
+// live from the world's SoA column (step-start positions are stable for the
+// whole batch), which is what lets a snapshot survive steps where hosts
+// moved without changing cell.
 type snapPeer struct {
 	host  int32
-	pos   geom.Point
 	entry core.PeerCache
 	share int64
 }
 
 // cellSnap is the peer-cache snapshot of one grid-cell neighborhood,
-// gathered once per batch and shared by every query whose point falls in
-// that cell (the per-step spatial join). peers holds the hosts of the cell's
-// forCells neighborhood that have a cache entry, in the exact order
-// forNeighbors would enumerate them, so a resolver filtering it by host
-// index and TxRange sees the identical peer sequence a per-query grid sweep
-// would produce.
+// gathered once and shared by every query whose point falls in that cell
+// (the per-step spatial join). peers holds the hosts of the cell's forCells
+// neighborhood that have a cache entry, in the exact order forNeighbors
+// would enumerate them, so a resolver filtering it by host index and
+// TxRange sees the identical peer sequence a per-query grid sweep would
+// produce.
+//
+// Snapshots persist across batches: fillStamp records the world's
+// dirty-cell clock at fill time, and the snapshot is reused as long as no
+// cell of its neighborhood has been stamped since (no membership change, no
+// resident cache write, no full rebuild — see World.noteCellChanges). A
+// reused snapshot is byte-identical to what a fresh fill would produce,
+// which the batched-vs-per-query CI diff exercises end to end.
 type cellSnap struct {
-	cx, cy int
-	peers  []snapPeer
+	cx, cy    int
+	fillStamp uint64 // world clock at fill; 0 = never filled
+	seen      uint64 // batch counter: validity already checked this batch
+	peers     []snapPeer
 }
+
+// maxCachedSnaps bounds the persistent snapshot cache; a long run over a
+// huge area could otherwise accumulate one entry per ever-queried cell.
+const maxCachedSnaps = 8192
 
 // queryEngine owns the batch buffers and worker scratch of the
 // plan/resolve/commit pipeline.
@@ -105,10 +127,17 @@ type queryEngine struct {
 	plans   []queryPlan
 	results []queryResult
 	// Batched-gather state (unused when Config.PerQueryGather is set):
-	// snapOf[i] is the index into snaps of plan i's cell snapshot.
+	// snapOf[i] is the index into snaps of plan i's cell snapshot. snaps and
+	// cellIdx persist across batches; fills lists the snaps this batch must
+	// (re)fill.
 	snapOf  []int32
 	cellIdx map[[2]int]int32 // raw cell coords -> snaps index
 	snaps   []cellSnap
+	fills   []int32
+	batch   uint64
+	// Reuse accounting (World.GatherReuse).
+	snapHits  uint64
+	snapFills uint64
 }
 
 func newQueryEngine(w *World, workers int) *queryEngine {
@@ -127,6 +156,14 @@ func newQueryEngine(w *World, workers int) *queryEngine {
 // world at different counts.
 func (w *World) initQueryEngine(workers int) {
 	w.qengine = newQueryEngine(w, workers)
+}
+
+// GatherReuse reports how many cell snapshots the batched gather phase
+// reused versus filled since the world was built — diagnostic output for
+// the dirty-cell reuse machinery (zero hits under Config.FullRebuild or
+// Config.PerQueryGather).
+func (w *World) GatherReuse() (hits, fills uint64) {
+	return w.qengine.snapHits, w.qengine.snapFills
 }
 
 // runBatch resolves the planned queries concurrently and commits their
@@ -166,6 +203,10 @@ func (e *queryEngine) runBatch() {
 		})
 	}
 
+	// Advance the dirty-cell clock past every fill of this batch, so the
+	// cache writes committed below stamp strictly later than the snapshots
+	// gathered above.
+	e.w.clock++
 	for i := range e.plans {
 		e.commit(&e.plans[i], &e.results[i])
 	}
@@ -180,20 +221,27 @@ func (e *queryEngine) runBatch() {
 // caches cannot change until every resolve has finished (commits run after
 // the fan-out), so a cache entry captured here is exactly what a per-query
 // sweep would read mid-batch.
+//
+// Snapshots persist across batches and are only refilled when the
+// dirty-cell clock says something in their neighborhood changed; quiescent
+// regions of the world answer repeated queries from the same snapshot.
 func (e *queryEngine) gatherCells() {
 	w := e.w
 	if e.cellIdx == nil {
 		e.cellIdx = make(map[[2]int]int32)
-	} else {
-		clear(e.cellIdx)
 	}
-	e.snaps = e.snaps[:0]
+	if len(e.snaps) > maxCachedSnaps {
+		clear(e.cellIdx)
+		e.snaps = e.snaps[:0]
+	}
+	e.batch++
 	if cap(e.snapOf) < len(e.plans) {
 		e.snapOf = make([]int32, len(e.plans))
 	}
 	e.snapOf = e.snapOf[:len(e.plans)]
+	e.fills = e.fills[:0]
 	for i := range e.plans {
-		q := w.hosts[e.plans[i].host].pos
+		q := w.pos[e.plans[i].host]
 		cx, cy := w.grid.rawCell(q)
 		key := [2]int{cx, cy}
 		idx, ok := e.cellIdx[key]
@@ -209,41 +257,73 @@ func (e *queryEngine) gatherCells() {
 			}
 			s := &e.snaps[idx]
 			s.cx, s.cy = cx, cy
+			s.fillStamp = 0
+			s.seen = 0
 			s.peers = s.peers[:0]
 		}
 		e.snapOf[i] = idx
+		s := &e.snaps[idx]
+		if s.seen == e.batch {
+			continue // validity already decided this batch
+		}
+		s.seen = e.batch
+		if s.fillStamp != 0 && e.snapValid(s) {
+			e.snapHits++
+			continue
+		}
+		e.fills = append(e.fills, idx)
 	}
+	e.snapFills += uint64(len(e.fills))
 
 	// Distinct cells are independent, so the snapshot fill fans out across
 	// the resolve workers; each worker writes only its own snaps slots.
-	if e.workers <= 1 || len(e.snaps) == 1 {
-		for i := range e.snaps {
-			e.fillSnap(&e.snaps[i])
+	if e.workers <= 1 || len(e.fills) == 1 {
+		for _, idx := range e.fills {
+			e.fillSnap(&e.snaps[idx])
 		}
-	} else {
+	} else if len(e.fills) > 1 {
 		workers := e.workers
-		if workers > len(e.snaps) {
-			workers = len(e.snaps)
+		if workers > len(e.fills) {
+			workers = len(e.fills)
 		}
-		shards := splitRange(len(e.snaps), workers)
+		shards := splitRange(len(e.fills), workers)
 		runWorkers(len(shards), func(s int) {
 			for i := shards[s][0]; i < shards[s][1]; i++ {
-				e.fillSnap(&e.snaps[i])
+				e.fillSnap(&e.snaps[e.fills[i]])
 			}
 		})
 	}
+}
+
+// snapValid reports whether s still reflects its neighborhood: no cell of
+// the forCells sweep may have been stamped after the snapshot was filled
+// (membership change or resident cache write), and no full rebuild may have
+// occurred since.
+func (e *queryEngine) snapValid(s *cellSnap) bool {
+	w := e.w
+	if s.fillStamp < w.fullStamp {
+		return false
+	}
+	valid := true
+	w.grid.forCellsAt(s.cx, s.cy, w.cfg.TxRange, func(c int32) {
+		if w.cellStamp[c] > s.fillStamp {
+			valid = false
+		}
+	})
+	return valid
 }
 
 // fillSnap captures one cell neighborhood's shareable caches in forNeighbors
 // enumeration order (cells row-major, hosts ascending within a cell).
 func (e *queryEngine) fillSnap(s *cellSnap) {
 	w := e.w
+	s.peers = s.peers[:0]
+	s.fillStamp = w.clock
 	w.grid.forCellsAt(s.cx, s.cy, w.cfg.TxRange, func(c int32) {
 		for _, hi := range w.grid.entries[w.grid.start[c]:w.grid.start[c+1]] {
-			if ent, ok := w.hosts[hi].cache.Entry(); ok {
+			if ent, ok := w.caches[hi].Entry(); ok {
 				s.peers = append(s.peers, snapPeer{
 					host:  hi,
-					pos:   w.hosts[hi].pos,
 					entry: ent,
 					share: int64(wire.CacheShareSize(len(ent.Neighbors))),
 				})
@@ -257,13 +337,13 @@ func (e *queryEngine) fillSnap(s *cellSnap) {
 // server fallback with the §3.3 pruning bounds. It only reads world state —
 // every effect is returned in the queryResult for the commit phase. idx is
 // the plan's batch position (it keys the cell snapshot under batched
-// gather). The peer-solved path performs no heap allocations in steady
-// state.
+// gather). Both the peer-solved and the server-solved path perform no heap
+// allocations in steady state.
 func (e *queryEngine) resolve(p *queryPlan, idx int, sc *resolverScratch) queryResult {
 	w := e.w
-	h := w.hosts[p.host]
+	own := &w.caches[p.host]
 	k := p.k
-	q := h.pos
+	q := w.pos[p.host]
 	res := queryResult{q: q}
 
 	// Gather shareable cached results: the host's own cache first (the
@@ -274,21 +354,20 @@ func (e *queryEngine) resolve(p *queryPlan, idx int, sc *resolverScratch) queryR
 	// peer sweep reads the query cell's shared snapshot; both modes visit
 	// the identical peer sequence (see cellSnap).
 	peers := sc.peers[:0]
-	if ent, ok := h.cache.Entry(); ok {
+	if ent, ok := own.Entry(); ok {
 		peers = append(peers, ent)
 	}
 	res.msgs, res.bytes = 1, int64(wire.CacheRequestSize)
 	tx2 := w.cfg.TxRange * w.cfg.TxRange
 	if w.cfg.PerQueryGather {
 		w.grid.forNeighbors(q, w.cfg.TxRange, func(i int32) {
-			other := w.hosts[i]
-			if other == h {
+			if i == p.host {
 				return
 			}
-			if q.Dist2(other.pos) > tx2 {
+			if q.Dist2(w.pos[i]) > tx2 {
 				return
 			}
-			if ent, ok := other.cache.Entry(); ok {
+			if ent, ok := w.caches[i].Entry(); ok {
 				peers = append(peers, ent)
 				res.msgs++
 				res.bytes += int64(wire.CacheShareSize(len(ent.Neighbors)))
@@ -301,7 +380,7 @@ func (e *queryEngine) resolve(p *queryPlan, idx int, sc *resolverScratch) queryR
 			if sp.host == p.host {
 				continue
 			}
-			if q.Dist2(sp.pos) > tx2 {
+			if q.Dist2(w.pos[sp.host]) > tx2 {
 				continue
 			}
 			peers = append(peers, sp.entry)
@@ -319,7 +398,7 @@ func (e *queryEngine) resolve(p *queryPlan, idx int, sc *resolverScratch) queryR
 	// itself certified), so it is a valid PeerCache and keeps the shared
 	// caches from degrading to the last query's k.
 	heapK := k
-	if c := h.cache.Capacity(); c > heapK {
+	if c := own.Capacity(); c > heapK {
 		heapK = c
 	}
 	heap := sc.heap
@@ -380,7 +459,8 @@ func (e *queryEngine) resolve(p *queryPlan, idx int, sc *resolverScratch) queryR
 	// answer is complete, while letting the EINN search truncate the
 	// opportunistic cache refill early; the refill then holds every POI out
 	// to the bound, which is still an exact prefix and therefore a valid
-	// PeerCache.
+	// PeerCache. The traversal runs through the worker's pooled iterator
+	// and fetched-POI scratch (no allocations).
 	bounds := heap.Bounds()
 	bounds.HasUpper = false
 	if ub, ok := heap.UpperBoundFor(k); ok {
@@ -389,7 +469,8 @@ func (e *queryEngine) resolve(p *queryPlan, idx int, sc *resolverScratch) queryR
 	}
 	certain := heap.CertainView()
 	fetchCount := heapK - len(certain)
-	fetched, pages := w.server.KNNCounted(q, fetchCount, bounds)
+	fetched, pages := w.server.KNNInto(q, fetchCount, bounds, &sc.it, sc.fetched)
+	sc.fetched = fetched
 	res.src = core.SolvedByServer
 	res.pages = pages
 
@@ -412,7 +493,9 @@ func (e *queryEngine) resolve(p *queryPlan, idx int, sc *resolverScratch) queryR
 
 // commit applies one resolved query's effects: the time series observes
 // every outcome (including the warm-up transient), Metrics tally only past
-// warm-up, and cache policy 1 writes land in event order.
+// warm-up, and cache policy 1 writes land in event order. A write that
+// lands also stamps the host's cell on the dirty-cell clock, so snapshots
+// whose neighborhood saw the new cache refill before their next reuse.
 func (e *queryEngine) commit(p *queryPlan, r *queryResult) {
 	w := e.w
 	if w.series != nil {
@@ -445,10 +528,38 @@ func (e *queryEngine) commit(p *queryPlan, r *queryResult) {
 		w.metrics.PeerBytes += r.bytes
 		w.metrics.ServerPageAccesses += r.pages
 	}
-	r.write.Apply(w.hosts[p.host].cache)
+	if r.write.Staged() {
+		old, hadOld := w.caches[p.host].Entry()
+		r.write.Apply(&w.caches[p.host])
+		// Stamp only when the stored entry actually changed: a parked host
+		// re-answering from its own cache rewrites an identical entry, and
+		// stamping it would invalidate its whole neighborhood's snapshots
+		// every time the cell is queried — self-defeating for reuse. An
+		// unchanged entry leaves every snapshot byte-identical to a fresh
+		// fill, so skipping the stamp is sound. (Store copies on Apply, so
+		// old still references the pre-write slice here.)
+		if now, ok := w.caches[p.host].Entry(); !ok || !hadOld || !peerCacheEqual(old, now) {
+			w.cellStamp[w.cells[p.host]] = w.clock
+		}
+	}
 	if w.audit != nil {
 		w.audit(r.q, p.k, r.answer, r.src)
 	}
+}
+
+// peerCacheEqual reports whether two cache entries are identical as the
+// gather phase captures them: same query location, same neighbor sequence
+// (the share size is a function of the neighbor count).
+func peerCacheEqual(a, b core.PeerCache) bool {
+	if a.QueryLoc != b.QueryLoc || len(a.Neighbors) != len(b.Neighbors) {
+		return false
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // stageResult prepares cache policy 1 as a deferred write: keep the query

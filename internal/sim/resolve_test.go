@@ -27,7 +27,7 @@ func warmResolveWorld(tb testing.TB) *World {
 		for i := 0; i < 400; i++ {
 			e.plans = append(e.plans, queryPlan{
 				at:   float64(i),
-				host: int32(rng.Intn(len(w.hosts))),
+				host: int32(rng.Intn(len(w.pos))),
 				k:    w.cfg.KMin + rng.Intn(w.cfg.KMax-w.cfg.KMin+1),
 			})
 		}
@@ -44,7 +44,7 @@ func peerSolvedPlans(tb testing.TB, w *World, want int) []queryPlan {
 	e := w.qengine
 	sc := e.scratch[0]
 	var plans []queryPlan
-	for hi := 0; hi < len(w.hosts) && len(plans) < want; hi++ {
+	for hi := 0; hi < len(w.pos) && len(plans) < want; hi++ {
 		for _, k := range []int{w.cfg.KMin, w.cfg.KMax} {
 			p := queryPlan{host: int32(hi), k: k}
 			e.plans = append(e.plans[:0], p)
@@ -136,24 +136,28 @@ func TestBatchedGatherMatchesPerQuery(t *testing.T) {
 	}
 }
 
-// BenchmarkResolve measures the resolve hot path in isolation on a
-// peer-solved batch (no server fallback, no commit). The CI bench job runs
-// it with -benchmem and gates allocs/op at zero.
+// BenchmarkResolve measures the resolve hot path in isolation (no commit):
+// a peer-solved batch and a server-solved batch (the EINN fallback through
+// the pooled tree iterator). The CI bench job runs it with -benchmem and
+// gates allocs/op at zero on both paths.
 func BenchmarkResolve(b *testing.B) {
 	w := warmResolveWorld(b)
-	plans := peerSolvedPlans(b, w, 64)
 	e := w.qengine
-	e.plans = append(e.plans[:0], plans...)
-	e.gatherCells()
 	sc := e.scratch[0]
-	b.Run("peersolved", func(b *testing.B) {
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			sc.poiArena = sc.poiArena[:0]
-			for j := range plans {
-				e.resolve(&plans[j], j, sc)
+	run := func(plans []queryPlan) func(b *testing.B) {
+		return func(b *testing.B) {
+			e.plans = append(e.plans[:0], plans...)
+			e.gatherCells()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.poiArena = sc.poiArena[:0]
+				for j := range plans {
+					e.resolve(&plans[j], j, sc)
+				}
 			}
 		}
-	})
+	}
+	b.Run("peersolved", run(peerSolvedPlans(b, w, 64)))
+	b.Run("serversolved", run(serverSolvedPlans(b, w, 64)))
 }

@@ -126,6 +126,35 @@ func (s *ServerModule) KNNCounted(q geom.Point, k int, b nn.Bounds) ([]core.POI,
 	return out, pages
 }
 
+// KNNInto is KNNCounted with caller-owned scratch: the EINN traversal runs
+// through it (a reusable concrete-tree iterator) and the results are
+// appended to dst[:0], whose backing array is reused. In steady state the
+// call performs no heap allocations, which is what keeps the simulator's
+// server-resolved query path allocation-free alongside the peer-solved one
+// (TestResolveAllocsServerSolved pins it). Results and page counts are
+// identical to KNNCounted's — TreeIterator replicates the generic
+// iterator's pruning, heap discipline, and access accounting exactly.
+func (s *ServerModule) KNNInto(q geom.Point, k int, b nn.Bounds, it *nn.TreeIterator, dst []core.POI) ([]core.POI, int64) {
+	s.queries.Add(1)
+	dst = dst[:0]
+	if k <= 0 {
+		// EINN performs no traversal at all for k <= 0 (not even the root
+		// fetch), so no pages are counted — matching KNNCounted.
+		return dst, 0
+	}
+	it.Reset(s.tree, q, b)
+	for len(dst) < k {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		dst = append(dst, r.Data.(core.POI))
+	}
+	pages := it.Pages()
+	s.pageAccesses.Add(pages)
+	return dst, pages
+}
+
 // Range implements core.RangeServer: every POI within Euclidean distance r
 // of q in ascending distance order, found with an R*-tree window search over
 // the disc's bounding box followed by an exact distance filter. Node reads

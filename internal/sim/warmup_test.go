@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+// TestConfigWarmupDefaults pins the WarmupFraction/NoWarmup contract: zero
+// WarmupFraction without NoWarmup means "unset" and defaults to 0.25, an
+// explicit value sticks, NoWarmup yields a true zero warm-up, and combining
+// NoWarmup with a non-zero fraction is rejected (the old behavior silently
+// replaced an intended zero with the default).
+func TestConfigWarmupDefaults(t *testing.T) {
+	cfg := smallConfig()
+	v, err := cfg.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.WarmupFraction != 0.25 {
+		t.Errorf("unset WarmupFraction validated to %v, want default 0.25", v.WarmupFraction)
+	}
+
+	cfg = smallConfig()
+	cfg.WarmupFraction = 0.5
+	if v, err = cfg.Validate(); err != nil || v.WarmupFraction != 0.5 {
+		t.Errorf("explicit WarmupFraction=0.5 validated to (%v, %v)", v.WarmupFraction, err)
+	}
+
+	cfg = smallConfig()
+	cfg.NoWarmup = true
+	if v, err = cfg.Validate(); err != nil || v.WarmupFraction != 0 {
+		t.Errorf("NoWarmup validated to (WarmupFraction=%v, %v), want (0, nil)", v.WarmupFraction, err)
+	}
+
+	cfg = smallConfig()
+	cfg.NoWarmup = true
+	cfg.WarmupFraction = 0.25
+	if _, err = cfg.Validate(); err == nil {
+		t.Error("NoWarmup + WarmupFraction=0.25 validated, want error")
+	}
+}
+
+// TestNoWarmupMeasuresFromStart runs the same world with and without
+// warm-up: the NoWarmup run must cover the full duration (MeasuredSeconds ==
+// Duration) and therefore tally at least as many queries as the warmed run,
+// including the cold-start transient the warmed run excludes.
+func TestNoWarmupMeasuresFromStart(t *testing.T) {
+	run := func(noWarmup bool) Metrics {
+		cfg := smallConfig()
+		cfg.NoWarmup = noWarmup
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Run()
+	}
+	warmed := run(false)
+	cold := run(true)
+	if cold.MeasuredSeconds != smallConfig().Duration {
+		t.Errorf("NoWarmup measured %v s, want the full %v s", cold.MeasuredSeconds, smallConfig().Duration)
+	}
+	if warmed.MeasuredSeconds >= cold.MeasuredSeconds {
+		t.Errorf("warmed run measured %v s, expected less than the full %v s",
+			warmed.MeasuredSeconds, cold.MeasuredSeconds)
+	}
+	if cold.TotalQueries < warmed.TotalQueries {
+		t.Errorf("NoWarmup tallied %d queries, warmed %d — full window must cover at least as many",
+			cold.TotalQueries, warmed.TotalQueries)
+	}
+	if cold.TotalQueries == 0 {
+		t.Error("NoWarmup run tallied no queries")
+	}
+}

@@ -10,29 +10,49 @@ import (
 	"repro/internal/spatialnet"
 )
 
-// host is one mobile host: its movement model, its NN result cache, and its
-// last known position (mirrored here to avoid interface calls in the hot
-// peer-lookup path).
-type host struct {
-	model mobility.Model
-	cache *cache.Cache
-	pos   geom.Point
-}
-
 // World is a fully constructed simulation ready to run.
+//
+// Host state is stored structure-of-arrays: positions, grid cells, and
+// caches live in parallel slices indexed by host, so the movement shards and
+// the gather phase stream through contiguous memory instead of chasing one
+// heap object per host. The layout is what lets a single machine hold
+// million-host worlds — see DESIGN.md §10 for the per-host memory budget.
 type World struct {
 	cfg    Config
 	rng    *rand.Rand
 	server *ServerModule
-	hosts  []*host
-	grid   *hostGrid
 	roads  *spatialnet.Graph // nil in free-movement mode
 
+	// Per-host parallel slices (the SoA columns). pos is the step-start
+	// position the query pipeline reads; cells mirrors grid.cellIndex(pos)
+	// and is the movement phase's crossing detector.
+	pos    []geom.Point
+	cells  []int32
+	caches []cache.Cache
+
+	// moving lists the non-stationary hosts in ascending index order — the
+	// movement phase iterates it instead of skipping parked hosts one by
+	// one. In free-movement mode wp (slot = host index) drives them; in road
+	// mode road[j] drives host moving[j].
+	moving []int32
+	wp     *mobility.Waypoints
+	road   []*mobility.RoadNetwork
+
+	grid *hostGrid
 	// engine shards the movement phase across Config.Workers goroutines;
 	// nil when the movement phase runs on the coordinating goroutine.
-	// cellBuf is the sequential path's per-host cell scratch.
-	engine  *stepEngine
-	cellBuf []int32
+	// movers is the sequential path's per-step cell-crossing delta.
+	engine *stepEngine
+	movers []moverRec
+
+	// Dirty-cell clock for the gather phase's snapshot reuse (DESIGN.md
+	// §10): clock advances before every batch of world mutations, and
+	// cellStamp[c] records the clock at which cell c's membership or a
+	// resident host's cache last changed. fullStamp invalidates everything
+	// at once (full rebuilds report no per-cell information).
+	clock     uint64
+	cellStamp []uint64
+	fullStamp uint64
 
 	// qengine runs each step's query batch through the plan/resolve/commit
 	// pipeline (queryengine.go), fanning the resolve phase across
@@ -68,8 +88,8 @@ func (w *World) SetAudit(fn func(q geom.Point, k int, answer []core.Candidate, s
 // sound (exact-prefix) caches.
 func (w *World) PeerCachesSnapshot() []core.PeerCache {
 	var out []core.PeerCache
-	for _, h := range w.hosts {
-		if e, ok := h.cache.Entry(); ok {
+	for i := range w.caches {
+		if e, ok := w.caches[i].Entry(); ok {
 			out = append(out, e)
 		}
 	}
@@ -77,7 +97,7 @@ func (w *World) PeerCachesSnapshot() []core.PeerCache {
 }
 
 // New builds a world from cfg: the road network (road mode), the POI set,
-// the server module, and the host population with its movement models.
+// the server module, and the host population with its movement state.
 func New(cfg Config) (*World, error) {
 	cfg, err := cfg.Validate()
 	if err != nil {
@@ -104,45 +124,55 @@ func New(cfg Config) (*World, error) {
 	pois := RandomPOIs(cfg.NumPOIs, cfg.Bounds(), rng)
 	w.server = NewServerModule(pois, cfg.RTreeFanout)
 
-	w.grid = newHostGrid(cfg.Bounds(), cfg.NumHosts, cfg.TxRange)
-	w.hosts = make([]*host, cfg.NumHosts)
+	n := cfg.NumHosts
+	w.grid = newHostGrid(cfg.Bounds(), n, cfg.TxRange)
+	w.pos = make([]geom.Point, n)
+	w.cells = make([]int32, n)
+	w.caches = make([]cache.Cache, n)
+	for i := range w.caches {
+		w.caches[i] = cache.Make(cfg.CacheSize)
+	}
+	if cfg.Mode == ModeFreeMovement {
+		w.wp = mobility.NewWaypoints(cfg.Bounds(), cfg.Velocity, cfg.MaxPause, cfg.TripRadius, n)
+	}
 	var finder *spatialnet.PathFinder
 	if w.roads != nil {
 		finder = spatialnet.NewPathFinder(w.roads)
 	}
-	for i := range w.hosts {
+	for i := 0; i < n; i++ {
 		start := geom.Pt(
 			rng.Float64()*cfg.AreaWidth,
 			rng.Float64()*cfg.AreaHeight,
 		)
 		moving := rng.Float64() < cfg.MovePercentage
-		var model mobility.Model
 		switch {
 		case !moving:
 			if w.roads != nil {
 				// Parked hosts in road mode still sit on the network.
 				node, _ := w.roads.NearestNodeIndexed(start)
-				model = mobility.Stationary{P: w.roads.Loc(node)}
+				w.pos[i] = w.roads.Loc(node)
 			} else {
-				model = mobility.Stationary{P: start}
+				w.pos[i] = start
 			}
 		case cfg.Mode == ModeFreeMovement:
-			model = mobility.NewRandomWaypointWith(cfg.Bounds(), start, cfg.Velocity, cfg.MaxPause,
-				rand.New(rand.NewSource(rng.Int63())), cfg.TripRadius)
+			w.pos[i] = start
+			w.wp.Seed(i, start, rng.Uint64())
+			w.moving = append(w.moving, int32(i))
 		default:
 			node, _ := w.roads.NearestNodeIndexed(start)
-			model = mobility.NewRoadNetworkWith(w.roads, node, cfg.Velocity, cfg.MaxPause,
+			m := mobility.NewRoadNetworkWith(w.roads, node, cfg.Velocity, cfg.MaxPause,
 				rand.New(rand.NewSource(rng.Int63())),
 				mobility.RoadNetworkOptions{Finder: finder, TripRadius: cfg.TripRadius})
+			w.pos[i] = m.Pos()
+			w.road = append(w.road, m)
+			w.moving = append(w.moving, int32(i))
 		}
-		h := &host{model: model, cache: cache.New(cfg.CacheSize), pos: model.Pos()}
-		w.hosts[i] = h
+		w.cells[i] = w.grid.cellIndex(w.pos[i])
 	}
-	w.cellBuf = make([]int32, cfg.NumHosts)
-	for i, h := range w.hosts {
-		w.cellBuf[i] = w.grid.cellIndex(h.pos)
-	}
-	w.grid.rebuild(w.cellBuf)
+	w.grid.rebuild(w.cells)
+	w.clock = 1
+	w.fullStamp = 1
+	w.cellStamp = make([]uint64, w.grid.numCells())
 	w.initEngine(cfg.Workers)
 	w.initQueryEngine(cfg.QueryWorkers)
 	if cfg.SeriesWindow > 0 {
@@ -199,7 +229,7 @@ func (w *World) Run() Metrics {
 		for w.nextQueryAt <= stepEnd {
 			w.qengine.plans = append(w.qengine.plans, queryPlan{
 				at:        w.nextQueryAt,
-				host:      int32(w.rng.Intn(len(w.hosts))),
+				host:      int32(w.rng.Intn(len(w.pos))),
 				k:         w.cfg.KMin + w.rng.Intn(w.cfg.KMax-w.cfg.KMin+1),
 				recording: w.nextQueryAt >= warmupEnd,
 			})
