@@ -1,0 +1,302 @@
+// Command senn-load drives a senn-serverd instance with N concurrent mobile
+// sessions. Each session walks the service area with random-waypoint
+// movement (internal/mobility), streams position updates, and issues kNN
+// queries (plus an occasional range query), measuring per-query round-trip
+// latency. At the end it prints a JSON report: sustained queries/sec and
+// p50/p99/p999 latency, shaped as a benchjson Document so the repo's
+// benchmark gate can ingest it, plus a "load" summary block with raw counts
+// that CI gates on (zero errors, nonzero throughput).
+//
+// Usage:
+//
+//	senn-load -addr 127.0.0.1:8046 -sessions 64 -duration 15s -out load.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+type config struct {
+	addr        string
+	sessions    int
+	duration    time.Duration
+	k           int
+	rangeEvery  int
+	rangeRadius float64
+	seed        int64
+	out         string
+}
+
+// result aggregates one session's outcome.
+type result struct {
+	queries   int64
+	errors    int64
+	latencies []time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8046", "senn-serverd address")
+	flag.IntVar(&cfg.sessions, "sessions", 64, "concurrent sessions")
+	flag.DurationVar(&cfg.duration, "duration", 15*time.Second, "run length")
+	flag.IntVar(&cfg.k, "k", 5, "neighbors per kNN query")
+	flag.IntVar(&cfg.rangeEvery, "range-every", 10, "issue a range query every Nth query (0 = never)")
+	flag.Float64Var(&cfg.rangeRadius, "range-radius", 300, "range query radius (m)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "movement/workload seed")
+	flag.StringVar(&cfg.out, "out", "", "write the JSON report here too (stdout always)")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "senn-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	bounds, err := fetchBounds(cfg.addr)
+	if err != nil {
+		return fmt.Errorf("fetch service bounds: %w", err)
+	}
+
+	// One waypoint engine for the whole fleet; each session owns slot i.
+	// Walking speed with short pauses, trips across a tenth of the area.
+	diag := bounds.Max.X - bounds.Min.X
+	wp := mobility.NewWaypoints(bounds, 1.5, 5, diag/10, cfg.sessions)
+	var seedRNG mobility.SplitMix64 = mobility.SplitMix64(cfg.seed)
+
+	stop := make(chan struct{})
+	results := make([]result, cfg.sessions)
+	var inFlight sync.WaitGroup
+	var dialErrors atomic.Int64
+
+	start := time.Now()
+	for i := 0; i < cfg.sessions; i++ {
+		startPos := geom.Pt(
+			bounds.Min.X+seedRNG.Float64()*(bounds.Max.X-bounds.Min.X),
+			bounds.Min.Y+seedRNG.Float64()*(bounds.Max.Y-bounds.Min.Y),
+		)
+		wp.Seed(i, startPos, seedRNG.Uint64())
+		inFlight.Add(1)
+		go func(i int, pos geom.Point) {
+			defer inFlight.Done()
+			if err := session(cfg, i, pos, wp, stop, &results[i]); err != nil {
+				dialErrors.Add(1)
+				results[i].errors++
+			}
+		}(i, startPos)
+	}
+	time.AfterFunc(cfg.duration, func() { close(stop) })
+	inFlight.Wait()
+	elapsed := time.Since(start)
+
+	return report(cfg, results, elapsed, dialErrors.Load())
+}
+
+// fetchBounds asks the server's /v1/stats for the service area.
+func fetchBounds(addr string) (geom.Rect, error) {
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return geom.Rect{}, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return geom.Rect{}, err
+	}
+	b := geom.Rect{
+		Min: geom.Pt(st.BoundsMinX, st.BoundsMinY),
+		Max: geom.Pt(st.BoundsMaxX, st.BoundsMaxY),
+	}
+	if b.Max.X <= b.Min.X || b.Max.Y <= b.Min.Y {
+		return geom.Rect{}, fmt.Errorf("stats: degenerate bounds %+v", b)
+	}
+	return b, nil
+}
+
+// session runs one mobile client until stop closes: move, report position,
+// query, time the answer. Movement advances in virtual 1-second steps per
+// query — a query rate of one per simulated second, issued as fast as the
+// server answers.
+func session(cfg config, slot int, pos geom.Point, wp *mobility.Waypoints, stop <-chan struct{}, res *result) error {
+	token, err := newSession(cfg.addr)
+	if err != nil {
+		return err
+	}
+	ws, err := serve.DialWS("ws://" + cfg.addr + "/v1/ws?session=" + token)
+	if err != nil {
+		return err
+	}
+	defer ws.Close()
+
+	reqID := uint32(0)
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		pos = wp.Advance(slot, pos, 1)
+		if err := ws.WriteBinary(wire.EncodePosition(pos)); err != nil {
+			res.errors++
+			return nil
+		}
+		reqID++
+		var payload []byte
+		if cfg.rangeEvery > 0 && reqID%uint32(cfg.rangeEvery) == 0 {
+			payload = wire.EncodeRange(wire.RangeQuery{ReqID: reqID, Loc: pos, Radius: cfg.rangeRadius})
+		} else {
+			payload = wire.EncodeQuery(wire.Query{ReqID: reqID, K: cfg.k, Loc: pos})
+		}
+		t0 := time.Now()
+		if err := ws.WriteBinary(payload); err != nil {
+			res.errors++
+			return nil
+		}
+		data, err := ws.ReadMessage()
+		if err != nil {
+			// A close while the run is winding down is orderly; anything
+			// mid-run is an error.
+			select {
+			case <-stop:
+				return nil
+			default:
+				res.errors++
+				return nil
+			}
+		}
+		rtt := time.Since(t0)
+		msg, err := wire.Decode(data)
+		if err != nil || msg.Type != wire.TypeAnswer || msg.Answer.ReqID != reqID {
+			res.errors++
+			return nil
+		}
+		res.queries++
+		res.latencies = append(res.latencies, rtt)
+	}
+}
+
+func newSession(addr string) (string, error) {
+	resp, err := http.Post("http://"+addr+"/v1/session", "application/json", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("session: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", err
+	}
+	return doc.Session, nil
+}
+
+// percentile returns the nearest-rank percentile of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// benchmark mirrors benchjson's Benchmark JSON shape.
+type benchmark struct {
+	Name    string  `json:"name"`
+	Runs    int     `json:"runs"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type loadSummary struct {
+	Sessions      int     `json:"sessions"`
+	DurationSec   float64 `json:"duration_sec"`
+	Queries       int64   `json:"queries"`
+	Errors        int64   `json:"errors"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	P999Ms        float64 `json:"p999_ms"`
+}
+
+func report(cfg config, results []result, elapsed time.Duration, dialErrors int64) error {
+	var all []time.Duration
+	var queries, errs int64
+	for i := range results {
+		queries += results[i].queries
+		errs += results[i].errors
+		all = append(all, results[i].latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	p50 := percentile(all, 50)
+	p99 := percentile(all, 99)
+	p999 := percentile(all, 99.9)
+	qps := float64(queries) / elapsed.Seconds()
+
+	doc := struct {
+		Benchmarks []benchmark `json:"benchmarks"`
+		Load       loadSummary `json:"load"`
+	}{
+		Benchmarks: []benchmark{
+			{Name: "ServeQuery/p50", Runs: int(queries), NsPerOp: float64(p50.Nanoseconds())},
+			{Name: "ServeQuery/p99", Runs: int(queries), NsPerOp: float64(p99.Nanoseconds())},
+			{Name: "ServeQuery/p999", Runs: int(queries), NsPerOp: float64(p999.Nanoseconds())},
+		},
+		Load: loadSummary{
+			Sessions:      cfg.sessions,
+			DurationSec:   elapsed.Seconds(),
+			Queries:       queries,
+			Errors:        errs,
+			QueriesPerSec: qps,
+			P50Ms:         float64(p50) / float64(time.Millisecond),
+			P99Ms:         float64(p99) / float64(time.Millisecond),
+			P999Ms:        float64(p999) / float64(time.Millisecond),
+		},
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	os.Stdout.Write(blob)
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+			return err
+		}
+	}
+
+	if errs > 0 || dialErrors > 0 {
+		return fmt.Errorf("%d session errors", errs)
+	}
+	if queries == 0 {
+		return fmt.Errorf("no queries completed")
+	}
+	fmt.Fprintf(os.Stderr, "senn-load: %d sessions, %d queries in %.1fs (%.0f q/s), p50 %.2fms p99 %.2fms p999 %.2fms\n",
+		cfg.sessions, queries, elapsed.Seconds(), qps,
+		doc.Load.P50Ms, doc.Load.P99Ms, doc.Load.P999Ms)
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command senn-serverd serves SENN spatial queries over the network: HTTP
+// for session setup and stats, WebSocket + the internal/wire binary protocol
+// for position updates and kNN/range queries. The POI data set comes from an
+// on-disk page-aligned store (see internal/serve), which the daemon indexes
+// at boot into the same R*-tree the in-process simulator uses — served
+// answers are bit-identical to ServerModule's, page counts included.
+//
+// Usage:
+//
+//	senn-serverd -store pois.senp [-addr 127.0.0.1:8046] [-maxk 512]
+//
+// Generate a store first (clustered POIs, the paper's workload shape):
+//
+//	senn-serverd -mkstore pois.senp -pois 50000 -clusters 16 -width 20000
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:8046", "listen address")
+		store = flag.String("store", "", "POI store file to serve (required unless -mkstore)")
+		maxK  = flag.Int("maxk", 512, "largest k served per query")
+
+		mkstore  = flag.String("mkstore", "", "write a fresh POI store to this path and exit")
+		nPOIs    = flag.Int("pois", 50000, "mkstore: number of POIs")
+		fanout   = flag.Int("fanout", 30, "mkstore: R*-tree fan-out")
+		width    = flag.Float64("width", 20000, "mkstore: square area side (m)")
+		clusters = flag.Int("clusters", 0, "mkstore: POI clusters (0 = uniform)")
+		sigma    = flag.Float64("sigma", 400, "mkstore: cluster spread (m)")
+		seed     = flag.Int64("seed", 1, "mkstore: random seed")
+	)
+	flag.Parse()
+
+	if *mkstore != "" {
+		if err := makeStore(*mkstore, *nPOIs, *fanout, *width, *clusters, *sigma, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d POIs, fanout %d, %gx%g m\n", *mkstore, *nPOIs, *fanout, *width, *width)
+		return
+	}
+	if *store == "" {
+		fatal(errors.New("missing -store (or -mkstore to create one)"))
+	}
+
+	t0 := time.Now()
+	info, pois, err := serve.ReadStore(*store)
+	if err != nil {
+		fatal(err)
+	}
+	mod := sim.NewServerModule(pois, info.Fanout)
+	fmt.Printf("senn-serverd: indexed %d POIs (fanout %d) in %v\n",
+		info.Count, info.Fanout, time.Since(t0).Round(time.Millisecond))
+
+	srv := serve.NewServer(mod, serve.Options{MaxK: *maxK, Bounds: info.Bounds})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	fmt.Printf("senn-serverd: listening on %s\n", *addr)
+
+	select {
+	case err := <-done:
+		fatal(err)
+	case <-ctx.Done():
+		fmt.Println("senn-serverd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+	}
+}
+
+func makeStore(path string, n, fanout int, width float64, clusters int, sigma float64, seed int64) error {
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(width, width)}
+	rng := rand.New(rand.NewSource(seed))
+	var pois = sim.RandomPOIs(n, bounds, rng)
+	if clusters > 0 {
+		pois = sim.ClusteredPOIs(n, bounds, clusters, sigma, rng)
+	}
+	return serve.WriteStore(path, pois, fanout, bounds)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "senn-serverd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/nn"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxK caps the k served per query (default 512, never above
+	// wire.MaxQueryK — the codec rejects larger requests before the server
+	// sees them).
+	MaxK int
+	// MaxAnswer caps the neighbors a single answer may carry; range
+	// queries whose result exceeds it get a wire.ErrCodeTooLarge error
+	// reply instead of a truncated (and therefore uncertifiable) region.
+	// Default 4096.
+	MaxAnswer int
+	// Bounds is the service area reported to clients (default: the store's
+	// or the POI set's bounding box).
+	Bounds geom.Rect
+}
+
+// Server is the network face of the remote spatial database: HTTP for
+// session setup and statistics, WebSocket + internal/wire binary messages
+// for the query channel. All query traffic funnels into a
+// sim.SnapshotQuerier over the shared read-only R*-tree, so any number of
+// connection goroutines serve concurrently.
+type Server struct {
+	querier   *sim.SnapshotQuerier
+	maxK      int
+	maxAnswer int
+	bounds    geom.Rect
+	mux       *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*session
+
+	stat struct {
+		sessions    atomic.Int64
+		activeConns atomic.Int64
+		positions   atomic.Int64
+		queries     atomic.Int64
+		ranges      atomic.Int64
+		protoErrors atomic.Int64
+	}
+}
+
+// session is one registered client. The server keeps its last reported
+// position — the state continuous queries will hang off — and its traffic
+// counts.
+type session struct {
+	mu      sync.Mutex
+	pos     geom.Point
+	hasPos  bool
+	queries int64
+}
+
+func (s *session) setPos(p geom.Point) {
+	s.mu.Lock()
+	s.pos, s.hasPos = p, true
+	s.mu.Unlock()
+}
+
+// NewServer wraps mod with the network service.
+func NewServer(mod *sim.ServerModule, opts Options) *Server {
+	if opts.MaxK <= 0 {
+		opts.MaxK = 512
+	}
+	if opts.MaxK > wire.MaxQueryK {
+		opts.MaxK = wire.MaxQueryK
+	}
+	if opts.MaxAnswer <= 0 {
+		opts.MaxAnswer = 4096
+	}
+	bounds := opts.Bounds
+	if bounds.Max.X <= bounds.Min.X || bounds.Max.Y <= bounds.Min.Y {
+		bounds = poiBounds(mod.POIs())
+	}
+	s := &Server{
+		querier:   sim.NewSnapshotQuerier(mod),
+		maxK:      opts.MaxK,
+		maxAnswer: opts.MaxAnswer,
+		bounds:    bounds,
+		sessions:  make(map[string]*session),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/session", s.handleNewSession)
+	mux.HandleFunc("GET /v1/ws", s.handleWS)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// poiBounds computes the bounding box of the data set (zero rect when
+// empty).
+func poiBounds(pois []core.POI) geom.Rect {
+	if len(pois) == 0 {
+		return geom.Rect{}
+	}
+	b := geom.Rect{Min: pois[0].Loc, Max: pois[0].Loc}
+	for _, p := range pois[1:] {
+		if p.Loc.X < b.Min.X {
+			b.Min.X = p.Loc.X
+		}
+		if p.Loc.Y < b.Min.Y {
+			b.Min.Y = p.Loc.Y
+		}
+		if p.Loc.X > b.Max.X {
+			b.Max.X = p.Loc.X
+		}
+		if p.Loc.Y > b.Max.Y {
+			b.Max.Y = p.Loc.Y
+		}
+	}
+	return b
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// newToken mints a 128-bit random session token.
+func newToken() (string, error) {
+	var raw [16]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(raw[:]), nil
+}
+
+func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
+	token, err := newToken()
+	if err != nil {
+		http.Error(w, "session: entropy unavailable", http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	s.sessions[token] = &session{}
+	s.mu.Unlock()
+	s.stat.sessions.Add(1)
+	writeJSON(w, map[string]string{"session": token})
+}
+
+func (s *Server) lookup(token string) *session {
+	if token == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[token]
+}
+
+func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.URL.Query().Get("session"))
+	if sess == nil {
+		http.Error(w, "unknown session (POST /v1/session first)", http.StatusForbidden)
+		return
+	}
+	ws, err := Upgrade(w, r)
+	if err != nil {
+		return // Upgrade wrote the HTTP error
+	}
+	s.stat.activeConns.Add(1)
+	defer s.stat.activeConns.Add(-1)
+	defer ws.Close()
+	s.serveConn(sess, ws)
+}
+
+// serveConn runs one connection's read-dispatch-answer loop. The scratch
+// slice keeps steady-state kNN serving allocation-free below the wire
+// encoder.
+func (s *Server) serveConn(sess *session, ws *WSConn) {
+	var scratch []core.POI
+	for {
+		data, err := ws.ReadMessage()
+		if err != nil {
+			// Orderly close, peer protocol violation, or transport death:
+			// the connection is done either way. Protocol violations are
+			// accounted so the load harness can gate on zero.
+			if err != ErrConnClosed {
+				s.stat.protoErrors.Add(1)
+			}
+			return
+		}
+		msg, err := wire.Decode(data)
+		if err != nil {
+			// Garbage framing inside a valid WebSocket message: strict
+			// tear-down, like a WebSocket protocol violation.
+			s.stat.protoErrors.Add(1)
+			_ = ws.WriteBinary(wire.EncodeError(wire.ErrorMsg{Code: wire.ErrCodeBadRequest}))
+			return
+		}
+		switch msg.Type {
+		case wire.TypePosition:
+			sess.setPos(msg.Pos)
+			s.stat.positions.Add(1)
+		case wire.TypeQuery:
+			q := msg.Query
+			if q.K > s.maxK {
+				s.stat.protoErrors.Add(1)
+				if ws.WriteBinary(wire.EncodeError(wire.ErrorMsg{ReqID: q.ReqID, Code: wire.ErrCodeBadRequest})) != nil {
+					return
+				}
+				continue
+			}
+			b := nn.Bounds{Lower: q.Lower, HasLower: q.HasLower, Upper: q.Upper, HasUpper: q.HasUpper}
+			var pages int64
+			scratch, pages = s.querier.KNN(q.Loc, q.K, b, scratch)
+			s.stat.queries.Add(1)
+			sess.mu.Lock()
+			sess.queries++
+			sess.mu.Unlock()
+			ans := wire.Answer{
+				ReqID: q.ReqID,
+				Pages: pages,
+				Cache: core.PeerCache{QueryLoc: q.Loc, Neighbors: scratch},
+			}
+			if ws.WriteBinary(wire.EncodeAnswer(ans)) != nil {
+				return
+			}
+		case wire.TypeRange:
+			rq := msg.Range
+			hits := s.querier.Range(rq.Loc, rq.Radius)
+			s.stat.ranges.Add(1)
+			sess.mu.Lock()
+			sess.queries++
+			sess.mu.Unlock()
+			if len(hits) > s.maxAnswer {
+				// A truncated range answer would claim a certain region it
+				// does not cover; refuse instead.
+				if ws.WriteBinary(wire.EncodeError(wire.ErrorMsg{ReqID: rq.ReqID, Code: wire.ErrCodeTooLarge})) != nil {
+					return
+				}
+				continue
+			}
+			ans := wire.Answer{
+				ReqID: rq.ReqID,
+				Cache: core.PeerCache{QueryLoc: rq.Loc, Neighbors: hits},
+			}
+			if ws.WriteBinary(wire.EncodeAnswer(ans)) != nil {
+				return
+			}
+		default:
+			// Peer-channel messages (CacheShare, CacheRequest) and answers
+			// have no meaning client-to-server.
+			s.stat.protoErrors.Add(1)
+			if ws.WriteBinary(wire.EncodeError(wire.ErrorMsg{Code: wire.ErrCodeUnsupported})) != nil {
+				return
+			}
+		}
+	}
+}
+
+// Stats is the /v1/stats document.
+type Stats struct {
+	POIs         int     `json:"pois"`
+	BoundsMinX   float64 `json:"bounds_min_x"`
+	BoundsMinY   float64 `json:"bounds_min_y"`
+	BoundsMaxX   float64 `json:"bounds_max_x"`
+	BoundsMaxY   float64 `json:"bounds_max_y"`
+	Sessions     int     `json:"sessions"`
+	ActiveConns  int64   `json:"active_conns"`
+	Positions    int64   `json:"positions"`
+	Queries      int64   `json:"queries"`
+	RangeQueries int64   `json:"range_queries"`
+	ProtoErrors  int64   `json:"protocol_errors"`
+	// ServerQueries and PageAccesses are the wrapped module's own counters
+	// — the PAR metric, aggregated across every connection.
+	ServerQueries int64 `json:"server_queries"`
+	PageAccesses  int64 `json:"page_accesses"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	nSessions := len(s.sessions)
+	s.mu.Unlock()
+	mod := s.querier.Module()
+	writeJSON(w, Stats{
+		POIs:          len(mod.POIs()),
+		BoundsMinX:    s.bounds.Min.X,
+		BoundsMinY:    s.bounds.Min.Y,
+		BoundsMaxX:    s.bounds.Max.X,
+		BoundsMaxY:    s.bounds.Max.Y,
+		Sessions:      nSessions,
+		ActiveConns:   s.stat.activeConns.Load(),
+		Positions:     s.stat.positions.Load(),
+		Queries:       s.stat.queries.Load(),
+		RangeQueries:  s.stat.ranges.Load(),
+		ProtoErrors:   s.stat.protoErrors.Load(),
+		ServerQueries: mod.Queries(),
+		PageAccesses:  mod.PageAccesses(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

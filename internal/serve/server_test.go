@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/nn"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// testServer boots a Server over a fresh random POI set and returns both so
+// oracle tests can query the module directly.
+func testServer(t *testing.T, nPOIs int, opts Options) (*httptest.Server, *sim.ServerModule) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10000, 10000)}
+	mod := sim.NewServerModule(sim.RandomPOIs(nPOIs, bounds, rng), 30)
+	srv := httptest.NewServer(NewServer(mod, opts).Handler())
+	t.Cleanup(srv.Close)
+	return srv, mod
+}
+
+// openSession POSTs /v1/session and dials the query WebSocket.
+func openSession(t *testing.T, srv *httptest.Server) *WSConn {
+	t.Helper()
+	ws, err := tryOpenSession(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+func tryOpenSession(srv *httptest.Server) (*WSConn, error) {
+	resp, err := http.Post(srv.URL+"/v1/session", "application/json", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("session: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("session: %v", err)
+	}
+	return DialWS(wsURL(srv) + "/v1/ws?session=" + doc.Session)
+}
+
+// The acceptance bar for the whole server: a served kNN answer must be the
+// byte-for-byte encoding of what the in-process ServerModule computes —
+// same neighbors, same tie order, same page count.
+func TestServedKNNMatchesOracle(t *testing.T) {
+	srv, mod := testServer(t, 5000, Options{})
+	ws := openSession(t, srv)
+	defer ws.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		q := wire.Query{
+			ReqID: uint32(trial),
+			K:     1 + rng.Intn(20),
+			Loc:   geom.Pt(rng.Float64()*10000, rng.Float64()*10000),
+		}
+		if rng.Float64() < 0.3 {
+			q.HasLower, q.Lower = true, rng.Float64()*200
+		}
+		if rng.Float64() < 0.3 {
+			q.HasUpper, q.Upper = true, 300+rng.Float64()*2000
+		}
+		if err := ws.WriteBinary(wire.EncodeQuery(q)); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := ws.ReadMessage()
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+
+		b := nn.Bounds{Lower: q.Lower, HasLower: q.HasLower, Upper: q.Upper, HasUpper: q.HasUpper}
+		// The served query already bumped the module's counters; KNNCounted
+		// here bumps them again, which is fine — counters are stats, not
+		// answer content.
+		neighbors, pages := mod.KNNCounted(q.Loc, q.K, b)
+		want := wire.EncodeAnswer(wire.Answer{
+			ReqID: q.ReqID,
+			Pages: pages,
+			Cache: core.PeerCache{QueryLoc: q.Loc, Neighbors: neighbors},
+		})
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (k=%d): served answer differs from in-process oracle", trial, q.K)
+		}
+	}
+}
+
+// Same bar for range queries.
+func TestServedRangeMatchesOracle(t *testing.T) {
+	srv, mod := testServer(t, 5000, Options{})
+	ws := openSession(t, srv)
+	defer ws.Close()
+
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 60; trial++ {
+		rq := wire.RangeQuery{
+			ReqID:  uint32(1000 + trial),
+			Loc:    geom.Pt(rng.Float64()*10000, rng.Float64()*10000),
+			Radius: 50 + rng.Float64()*400,
+		}
+		if err := ws.WriteBinary(wire.EncodeRange(rq)); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := ws.ReadMessage()
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		want := wire.EncodeAnswer(wire.Answer{
+			ReqID: rq.ReqID,
+			Cache: core.PeerCache{QueryLoc: rq.Loc, Neighbors: mod.Range(rq.Loc, rq.Radius)},
+		})
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: served range answer differs from in-process oracle", trial)
+		}
+	}
+}
+
+// The query channel requires a registered session.
+func TestWSAuthRequired(t *testing.T) {
+	srv, _ := testServer(t, 100, Options{})
+	for _, path := range []string{"/v1/ws", "/v1/ws?session=deadbeef"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("%s: status %d, want 403", path, resp.StatusCode)
+		}
+	}
+}
+
+// Over-limit k gets an error reply, and the connection stays usable.
+func TestOverLimitKKeepsConnUsable(t *testing.T) {
+	srv, _ := testServer(t, 500, Options{MaxK: 8})
+	ws := openSession(t, srv)
+	defer ws.Close()
+
+	if err := ws.WriteBinary(wire.EncodeQuery(wire.Query{ReqID: 7, K: 9, Loc: geom.Pt(1, 1)})); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ws.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != wire.TypeError || msg.Err.ReqID != 7 || msg.Err.Code != wire.ErrCodeBadRequest {
+		t.Fatalf("got %+v, want bad-request error for req 7", msg)
+	}
+
+	// Connection must survive the rejection.
+	if err := ws.WriteBinary(wire.EncodeQuery(wire.Query{ReqID: 8, K: 3, Loc: geom.Pt(1, 1)})); err != nil {
+		t.Fatal(err)
+	}
+	data, err = ws.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err = wire.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != wire.TypeAnswer || msg.Answer.ReqID != 8 || len(msg.Answer.Cache.Neighbors) != 3 {
+		t.Fatalf("follow-up query got %+v", msg)
+	}
+}
+
+// Peer-channel message types are meaningless client-to-server.
+func TestPeerMessagesUnsupported(t *testing.T) {
+	srv, _ := testServer(t, 100, Options{})
+	ws := openSession(t, srv)
+	defer ws.Close()
+
+	if err := ws.WriteBinary(wire.EncodeCacheRequest()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ws.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != wire.TypeError || msg.Err.Code != wire.ErrCodeUnsupported {
+		t.Fatalf("got %+v, want unsupported error", msg)
+	}
+}
+
+// Malformed wire bytes inside a valid WebSocket frame tear the connection
+// down after an error reply.
+func TestGarbagePayloadClosesConn(t *testing.T) {
+	srv, _ := testServer(t, 100, Options{})
+	ws := openSession(t, srv)
+	defer ws.Close()
+
+	if err := ws.WriteBinary([]byte{0xff, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ws.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.Decode(data)
+	if err != nil || msg.Type != wire.TypeError {
+		t.Fatalf("got %+v (%v), want error message", msg, err)
+	}
+	if _, err := ws.ReadMessage(); err == nil {
+		t.Fatal("connection still open after protocol garbage")
+	}
+}
+
+// Many sessions connecting, moving, querying, and disconnecting at once:
+// every answer must match the oracle, with zero server-side protocol errors.
+// Run under -race this also proves the shared query path is data-race free.
+func TestSessionLifecycleConcurrent(t *testing.T) {
+	srv, mod := testServer(t, 2000, Options{})
+
+	const workers, queriesPerWorker = 16, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws, err := tryOpenSession(srv)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer ws.Close()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < queriesPerWorker; i++ {
+				pos := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+				if err := ws.WriteBinary(wire.EncodePosition(pos)); err != nil {
+					errs <- fmt.Errorf("worker %d: position: %v", w, err)
+					return
+				}
+				q := wire.Query{ReqID: uint32(w<<16 | i), K: 1 + rng.Intn(10), Loc: pos}
+				if err := ws.WriteBinary(wire.EncodeQuery(q)); err != nil {
+					errs <- fmt.Errorf("worker %d: query: %v", w, err)
+					return
+				}
+				got, err := ws.ReadMessage()
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: read: %v", w, err)
+					return
+				}
+				neighbors, _ := mod.KNNCounted(q.Loc, q.K, nn.Bounds{})
+				msg, err := wire.Decode(got)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: decode: %v", w, err)
+					return
+				}
+				if msg.Type != wire.TypeAnswer || msg.Answer.ReqID != q.ReqID {
+					errs <- fmt.Errorf("worker %d: wrong reply %+v", w, msg)
+					return
+				}
+				if len(msg.Answer.Cache.Neighbors) != len(neighbors) {
+					errs <- fmt.Errorf("worker %d: %d neighbors, want %d",
+						w, len(msg.Answer.Cache.Neighbors), len(neighbors))
+					return
+				}
+				for j := range neighbors {
+					if msg.Answer.Cache.Neighbors[j].ID != neighbors[j].ID {
+						errs <- fmt.Errorf("worker %d: neighbor %d mismatch", w, j)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ProtoErrors != 0 {
+		t.Fatalf("protocol_errors = %d, want 0", st.ProtoErrors)
+	}
+	if st.Sessions != workers || st.Queries != workers*queriesPerWorker ||
+		st.Positions != workers*queriesPerWorker {
+		t.Fatalf("stats = %+v, want %d sessions / %d queries", st, workers, workers*queriesPerWorker)
+	}
+}
+
+// Boot path: a store written to disk and served must answer exactly like a
+// module built directly from the same POIs — the store preserves insertion
+// order and fanout, so the trees are identical.
+func TestServeFromStoreMatchesDirectModule(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(6000, 6000)}
+	pois := sim.ClusteredPOIs(3000, bounds, 12, 250, rng)
+
+	path := t.TempDir() + "/pois.senp"
+	if err := WriteStore(path, pois, 24, bounds); err != nil {
+		t.Fatal(err)
+	}
+	info, loaded, err := ReadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct := sim.NewServerModule(pois, 24)
+	fromStore := sim.NewServerModule(loaded, info.Fanout)
+
+	for trial := 0; trial < 50; trial++ {
+		q := geom.Pt(rng.Float64()*6000, rng.Float64()*6000)
+		k := 1 + rng.Intn(15)
+		wantN, wantP := direct.KNNCounted(q, k, nn.Bounds{})
+		gotN, gotP := fromStore.KNNCounted(q, k, nn.Bounds{})
+		if gotP != wantP || len(gotN) != len(wantN) {
+			t.Fatalf("trial %d: pages %d/%d, n %d/%d", trial, gotP, wantP, len(gotN), len(wantN))
+		}
+		for i := range wantN {
+			if gotN[i].ID != wantN[i].ID {
+				t.Fatalf("trial %d: neighbor %d differs", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package serve lifts the SENN query engine out of the closed-loop
+// simulator into a long-running network service: the paper's architecture
+// (§3) made literal, with a remote spatial database answering kNN/range
+// queries from mobile clients that cache, share, and verify results. A
+// client opens a session over HTTP, upgrades to a WebSocket, streams
+// position updates, and issues queries as internal/wire binary messages;
+// answers carry the certain-region metadata (query location + complete
+// ascending neighbor set) that the simulator's hosts exchange, so a network
+// client can run exactly the verification lemmas a simulated host does.
+//
+// Everything is stdlib: the WebSocket layer below is a minimal RFC 6455
+// implementation (handshake, masking, fragmentation, control frames), the
+// HTTP layer is net/http, and the on-disk POI store rides on
+// internal/pagestore's fixed-size pages.
+package serve
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mobility"
+)
+
+// RFC 6455 opcodes.
+const (
+	opContinuation byte = 0x0
+	opText         byte = 0x1
+	opBinary       byte = 0x2
+	opClose        byte = 0x8
+	opPing         byte = 0x9
+	opPong         byte = 0xA
+)
+
+// wsGUID is the fixed handshake GUID of RFC 6455 §1.3.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// DefaultMaxMessage bounds a reassembled message (1 MiB — comfortably above
+// the largest well-formed wire answer, AnswerSize(MaxQueryK) ≈ 96 KiB).
+const DefaultMaxMessage = 1 << 20
+
+// Errors surfaced by the WebSocket layer.
+var (
+	// ErrConnClosed reports an orderly close handshake from the peer.
+	ErrConnClosed = errors.New("serve: websocket closed by peer")
+	// ErrProtocol reports a framing violation; the connection is torn down.
+	ErrProtocol = errors.New("serve: websocket protocol error")
+	// ErrTooLarge reports a frame or message beyond the size cap.
+	ErrTooLarge = errors.New("serve: websocket message too large")
+)
+
+// acceptKey computes the Sec-WebSocket-Accept value for a handshake key.
+func acceptKey(key string) string {
+	h := sha1.New() // mandated by RFC 6455 §4.2.2; not used for security
+	io.WriteString(h, key)
+	io.WriteString(h, wsGUID)
+	return base64.StdEncoding.EncodeToString(h.Sum(nil))
+}
+
+// WSConn is one WebSocket connection carrying binary messages. Reads must
+// come from a single goroutine; writes are internally serialized, so the
+// reader's automatic pong replies never interleave with application frames.
+type WSConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	// client marks which masking role this side plays: per RFC 6455 §5.1 a
+	// client masks every frame it sends and requires unmasked frames from
+	// the server; a server does the reverse.
+	client bool
+	maxMsg int
+
+	wmu  sync.Mutex
+	wbuf []byte
+	// maskRNG generates frame mask keys on the client side. Masking exists
+	// to defeat proxy cache poisoning, not cryptanalysis, so a fast stream
+	// seeded once from crypto/rand is appropriate.
+	maskRNG mobility.SplitMix64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func newWSConn(conn net.Conn, br *bufio.Reader, client bool) *WSConn {
+	c := &WSConn{conn: conn, br: br, client: client, maxMsg: DefaultMaxMessage}
+	if client {
+		var seed [8]byte
+		if _, err := rand.Read(seed[:]); err == nil {
+			c.maskRNG = mobility.SplitMix64(binary.LittleEndian.Uint64(seed[:]))
+		}
+	}
+	return c
+}
+
+// SetReadDeadline bounds how long ReadMessage may block.
+func (c *WSConn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// ReadMessage returns the next complete binary message, transparently
+// answering pings and skipping pongs. It returns ErrConnClosed after an
+// orderly close from the peer.
+func (c *WSConn) ReadMessage() ([]byte, error) {
+	var msg []byte
+	assembling := false
+	for {
+		fin, op, payload, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case opPing:
+			if err := c.writeFrame(opPong, payload); err != nil {
+				return nil, err
+			}
+		case opPong:
+			// Unsolicited pongs are legal and ignored (§5.5.3).
+		case opClose:
+			c.closeOnce.Do(func() {
+				// Echo the close (§5.5.1), then tear down the transport.
+				code := payload
+				if len(code) > 2 {
+					code = code[:2]
+				}
+				_ = c.writeFrame(opClose, code)
+				c.closeErr = c.conn.Close()
+			})
+			return nil, ErrConnClosed
+		case opBinary:
+			if assembling {
+				return nil, c.fail("binary frame inside a fragmented message")
+			}
+			if fin {
+				return payload, nil
+			}
+			msg, assembling = payload, true
+		case opContinuation:
+			if !assembling {
+				return nil, c.fail("continuation without a started message")
+			}
+			if len(msg)+len(payload) > c.maxMsg {
+				return nil, c.close1009()
+			}
+			msg = append(msg, payload...)
+			if fin {
+				return msg, nil
+			}
+		case opText:
+			return nil, c.fail("text frames are not part of this protocol")
+		default:
+			return nil, c.fail(fmt.Sprintf("reserved opcode %#x", op))
+		}
+	}
+}
+
+// WriteBinary sends one binary message as a single frame.
+func (c *WSConn) WriteBinary(p []byte) error { return c.writeFrame(opBinary, p) }
+
+// Close performs the closing handshake (best effort) and closes the
+// transport. Safe to call multiple times and concurrently with a reader.
+func (c *WSConn) Close() error {
+	c.closeOnce.Do(func() {
+		_ = c.writeFrame(opClose, []byte{0x03, 0xE8}) // 1000: normal closure
+		c.closeErr = c.conn.Close()
+	})
+	return c.closeErr
+}
+
+// fail sends a 1002 (protocol error) close and returns ErrProtocol.
+func (c *WSConn) fail(reason string) error {
+	c.closeOnce.Do(func() {
+		_ = c.writeFrame(opClose, []byte{0x03, 0xEA}) // 1002
+		c.closeErr = c.conn.Close()
+	})
+	return fmt.Errorf("%w: %s", ErrProtocol, reason)
+}
+
+// close1009 sends a 1009 (message too big) close and returns ErrTooLarge.
+func (c *WSConn) close1009() error {
+	c.closeOnce.Do(func() {
+		_ = c.writeFrame(opClose, []byte{0x03, 0xF1}) // 1009
+		c.closeErr = c.conn.Close()
+	})
+	return ErrTooLarge
+}
+
+// readFrame reads and unmasks one frame.
+func (c *WSConn) readFrame() (fin bool, op byte, payload []byte, err error) {
+	var h [2]byte
+	if _, err := io.ReadFull(c.br, h[:]); err != nil {
+		return false, 0, nil, err
+	}
+	fin = h[0]&0x80 != 0
+	if h[0]&0x70 != 0 {
+		return false, 0, nil, c.fail("nonzero RSV bits without a negotiated extension")
+	}
+	op = h[0] & 0x0F
+	masked := h[1]&0x80 != 0
+	n := uint64(h[1] & 0x7F)
+	if op >= opClose { // control frame constraints (§5.5)
+		if !fin || n > 125 {
+			return false, 0, nil, c.fail("fragmented or oversized control frame")
+		}
+	}
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		n = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		n = binary.BigEndian.Uint64(ext[:])
+	}
+	if n > uint64(c.maxMsg) {
+		return false, 0, nil, c.close1009()
+	}
+	// §5.1: exactly one side masks. A client expects unmasked server
+	// frames; a server expects masked client frames.
+	if masked == c.client {
+		return false, 0, nil, c.fail("frame masking violates RFC 6455 §5.1")
+	}
+	var key [4]byte
+	if masked {
+		if _, err := io.ReadFull(c.br, key[:]); err != nil {
+			return false, 0, nil, err
+		}
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return false, 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= key[i&3]
+		}
+	}
+	return fin, op, payload, nil
+}
+
+// writeFrame emits one complete frame in a single transport write.
+func (c *WSConn) writeFrame(op byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	buf := append(c.wbuf[:0], 0x80|op)
+	maskBit := byte(0)
+	if c.client {
+		maskBit = 0x80
+	}
+	n := len(payload)
+	switch {
+	case n < 126:
+		buf = append(buf, maskBit|byte(n))
+	case n < 1<<16:
+		buf = append(buf, maskBit|126, byte(n>>8), byte(n))
+	default:
+		buf = append(buf, maskBit|127)
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(n))
+		buf = append(buf, ext[:]...)
+	}
+	if c.client {
+		var key [4]byte
+		binary.LittleEndian.PutUint32(key[:], uint32(c.maskRNG.Uint64()))
+		buf = append(buf, key[:]...)
+		start := len(buf)
+		buf = append(buf, payload...)
+		for i := start; i < len(buf); i++ {
+			buf[i] ^= key[(i-start)&3]
+		}
+	} else {
+		buf = append(buf, payload...)
+	}
+	c.wbuf = buf
+	_, err := c.conn.Write(buf)
+	return err
+}
+
+// headerHasToken reports whether a comma-separated header contains the token
+// (case-insensitive), as required for Connection/Upgrade parsing.
+func headerHasToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Upgrade performs the server side of the RFC 6455 opening handshake,
+// hijacking the HTTP connection. On failure it writes the HTTP error
+// response itself and returns a non-nil error.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*WSConn, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket: handshake requires GET", http.StatusMethodNotAllowed)
+		return nil, fmt.Errorf("serve: handshake method %s", r.Method)
+	}
+	if !headerHasToken(r.Header, "Connection", "upgrade") ||
+		!headerHasToken(r.Header, "Upgrade", "websocket") {
+		http.Error(w, "websocket: upgrade required", http.StatusBadRequest)
+		return nil, errors.New("serve: missing upgrade headers")
+	}
+	if v := r.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		http.Error(w, "websocket: unsupported version", http.StatusUpgradeRequired)
+		return nil, fmt.Errorf("serve: websocket version %q", v)
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "websocket: missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, errors.New("serve: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket: hijacking unsupported", http.StatusInternalServerError)
+		return nil, errors.New("serve: response writer cannot hijack")
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("serve: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + acceptKey(key) + "\r\n\r\n"
+	if _, err := conn.Write([]byte(resp)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: handshake write: %w", err)
+	}
+	// brw.Reader may already hold frames the client pipelined behind the
+	// handshake; keep reading through it.
+	return newWSConn(conn, brw.Reader, false), nil
+}
+
+// DialWS performs the client side of the opening handshake against a ws://
+// (or http://) URL and returns the connection.
+func DialWS(rawURL string) (*WSConn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial: %w", err)
+	}
+	switch u.Scheme {
+	case "ws", "http":
+	default:
+		return nil, fmt.Errorf("serve: dial: unsupported scheme %q (TLS is not implemented)", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial: %w", err)
+	}
+	var keyRaw [16]byte
+	if _, err := rand.Read(keyRaw[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: dial: %w", err)
+	}
+	key := base64.StdEncoding.EncodeToString(keyRaw[:])
+	req := "GET " + u.RequestURI() + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: dial: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: dial: read handshake: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		resp.Body.Close()
+		conn.Close()
+		return nil, fmt.Errorf("serve: dial: handshake refused: %s: %s",
+			resp.Status, strings.TrimSpace(string(body)))
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != acceptKey(key) {
+		conn.Close()
+		return nil, fmt.Errorf("serve: dial: bad Sec-WebSocket-Accept %q", got)
+	}
+	return newWSConn(conn, br, true), nil
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// RFC 6455 §1.3's worked example pins the accept-key derivation.
+func TestAcceptKeyRFCVector(t *testing.T) {
+	got := acceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got != want {
+		t.Fatalf("acceptKey = %q, want %q", got, want)
+	}
+}
+
+// echoServer upgrades and echoes every binary message back.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ws, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer ws.Close()
+		for {
+			data, err := ws.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := ws.WriteBinary(data); err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func wsURL(srv *httptest.Server) string {
+	return "ws" + strings.TrimPrefix(srv.URL, "http")
+}
+
+// Echo payloads sized to exercise all three frame length encodings (7-bit,
+// 16-bit, 64-bit) and fragment-free round-tripping of masked client frames.
+func TestEchoAcrossLengthEncodings(t *testing.T) {
+	srv := echoServer(t)
+	ws, err := DialWS(wsURL(srv))
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer ws.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 125, 126, 127, 4096, 65535, 65536, 70000} {
+		msg := make([]byte, n)
+		rng.Read(msg)
+		if err := ws.WriteBinary(msg); err != nil {
+			t.Fatalf("write %d bytes: %v", n, err)
+		}
+		got, err := ws.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d bytes: %v", n, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("echo of %d bytes corrupted", n)
+		}
+	}
+}
+
+// Closing the client side must complete the close handshake: the server's
+// reader sees ErrConnClosed, not a protocol or transport error.
+func TestCloseHandshake(t *testing.T) {
+	gotErr := make(chan error, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ws, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer ws.Close()
+		_, err = ws.ReadMessage()
+		gotErr <- err
+	}))
+	t.Cleanup(srv.Close)
+
+	ws, err := DialWS(wsURL(srv))
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := <-gotErr; err != ErrConnClosed {
+		t.Fatalf("server read error = %v, want ErrConnClosed", err)
+	}
+}
+
+// A server must reject upgrade attempts that are not proper WebSocket
+// handshakes, with the HTTP status the RFC prescribes.
+func TestUpgradeRejections(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		Upgrade(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	cases := []struct {
+		name   string
+		mangle func(*http.Request)
+		want   int
+	}{
+		{"plain GET", func(r *http.Request) {
+			r.Header.Del("Upgrade")
+			r.Header.Del("Connection")
+		}, http.StatusBadRequest},
+		{"wrong version", func(r *http.Request) {
+			r.Header.Set("Sec-WebSocket-Version", "8")
+		}, http.StatusUpgradeRequired},
+		{"missing key", func(r *http.Request) {
+			r.Header.Del("Sec-WebSocket-Key")
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Upgrade", "websocket")
+			req.Header.Set("Connection", "Upgrade")
+			req.Header.Set("Sec-WebSocket-Version", "13")
+			req.Header.Set("Sec-WebSocket-Key", "dGhlIHNhbXBsZSBub25jZQ==")
+			tc.mangle(req)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("request: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+
+	t.Run("POST", func(t *testing.T) {
+		resp, err := http.Post(srv.URL, "application/octet-stream", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want %d", resp.StatusCode, http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// Concurrent writers on one connection must not interleave frame bytes; the
+// reader must get every message back intact.
+func TestConcurrentWritersDoNotInterleave(t *testing.T) {
+	srv := echoServer(t)
+	ws, err := DialWS(wsURL(srv))
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer ws.Close()
+
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			msg := bytes.Repeat([]byte{byte('a' + w)}, 100+w)
+			for i := 0; i < perWriter; i++ {
+				if err := ws.WriteBinary(msg); err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+
+	for i := 0; i < writers*perWriter; i++ {
+		got, err := ws.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if len(got) < 100 || len(got) > 100+writers {
+			t.Fatalf("read %d: %d bytes, outside writer sizes", i, len(got))
+		}
+		for _, b := range got[1:] {
+			if b != got[0] {
+				t.Fatalf("read %d: interleaved frame payload", i)
+			}
+		}
+	}
+	wg.Wait()
+}

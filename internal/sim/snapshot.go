@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/nn"
+)
+
+// SnapshotQuerier is the read-only query facade a network server (or any
+// caller outside the world loop) mounts over a ServerModule. Inside the
+// simulator the resolve phase hands each query worker its own
+// nn.TreeIterator as scratch; outside it there is no fixed worker set, so
+// the querier pools iterators instead. Answers and page counts are
+// bit-identical to ServerModule.KNNCounted for the same tree (KNNInto
+// replicates the generic traversal exactly — TestSnapshotQuerierMatchesKNNCounted
+// pins it), and in steady state a KNN call allocates nothing beyond what the
+// caller's dst slice needs.
+//
+// The querier is safe for unbounded concurrent use: the tree is read-only,
+// the module's stats are atomic, and every traversal runs on a pooled
+// iterator owned by exactly one call at a time.
+type SnapshotQuerier struct {
+	mod   *ServerModule
+	iters sync.Pool
+}
+
+// NewSnapshotQuerier wraps mod with a pooled, concurrency-safe query path.
+func NewSnapshotQuerier(mod *ServerModule) *SnapshotQuerier {
+	return &SnapshotQuerier{
+		mod: mod,
+		iters: sync.Pool{
+			New: func() any { return new(nn.TreeIterator) },
+		},
+	}
+}
+
+// KNN answers a kNN query under the §3.3 pruning bounds, appending the
+// results to dst[:0] (whose backing array is reused) and returning the exact
+// page accesses the traversal performed. Results are identical to
+// ServerModule.KNNCounted's, including tie order.
+func (sq *SnapshotQuerier) KNN(q geom.Point, k int, b nn.Bounds, dst []core.POI) ([]core.POI, int64) {
+	it := sq.iters.Get().(*nn.TreeIterator)
+	out, pages := sq.mod.KNNInto(q, k, b, it, dst)
+	sq.iters.Put(it)
+	return out, pages
+}
+
+// Range answers a range query: every POI within Euclidean distance r of q in
+// ascending distance order, ties broken by POI ID. It delegates to
+// ServerModule.Range, which is safe for concurrent use with KNN traffic
+// (read-only tree, atomic counters).
+func (sq *SnapshotQuerier) Range(q geom.Point, r float64) []core.POI {
+	return sq.mod.Range(q, r)
+}
+
+// Module exposes the wrapped ServerModule for statistics.
+func (sq *SnapshotQuerier) Module() *ServerModule { return sq.mod }

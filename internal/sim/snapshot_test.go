@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/nn"
+)
+
+// The pooled snapshot path must be observationally identical to the
+// per-query KNNCounted path: same POIs, same order (including distance
+// ties), same page counts.
+func TestSnapshotQuerierMatchesKNNCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10000, 10000)}
+	mod := NewServerModule(RandomPOIs(5000, bounds, rng), 30)
+	sq := NewSnapshotQuerier(mod)
+
+	var dst []core.POI
+	for trial := 0; trial < 300; trial++ {
+		q := geom.Pt(rng.Float64()*12000-1000, rng.Float64()*12000-1000)
+		k := 1 + rng.Intn(20)
+		var b nn.Bounds
+		if rng.Float64() < 0.4 {
+			b.HasLower, b.Lower = true, rng.Float64()*300
+		}
+		if rng.Float64() < 0.4 {
+			b.HasUpper, b.Upper = true, 200+rng.Float64()*2000
+		}
+		want, wantPages := mod.KNNCounted(q, k, b)
+		var pages int64
+		dst, pages = sq.KNN(q, k, b, dst)
+		if pages != wantPages {
+			t.Fatalf("trial %d: pages %d, want %d", trial, pages, wantPages)
+		}
+		if len(dst) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(dst), len(want))
+		}
+		for i := range want {
+			if dst[i].ID != want[i].ID ||
+				math.Float64bits(dst[i].Loc.X) != math.Float64bits(want[i].Loc.X) ||
+				math.Float64bits(dst[i].Loc.Y) != math.Float64bits(want[i].Loc.Y) {
+				t.Fatalf("trial %d: result %d = %v, want %v", trial, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// Concurrent callers (the network server's connection goroutines) must each
+// see exactly the answer a sequential caller computes, with no cross-talk
+// through the pooled iterators.
+func TestSnapshotQuerierConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(5000, 5000)}
+	mod := NewServerModule(RandomPOIs(2000, bounds, rng), 30)
+	sq := NewSnapshotQuerier(mod)
+
+	type trial struct {
+		q    geom.Point
+		k    int
+		want []core.POI
+	}
+	const perWorker, workers = 200, 8
+	trials := make([]trial, perWorker*workers)
+	for i := range trials {
+		q := geom.Pt(rng.Float64()*5000, rng.Float64()*5000)
+		k := 1 + rng.Intn(10)
+		want, _ := mod.KNNCounted(q, k, nn.Bounds{})
+		trials[i] = trial{q: q, k: k, want: want}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var dst []core.POI
+			for i := w * perWorker; i < (w+1)*perWorker; i++ {
+				tr := trials[i]
+				dst, _ = sq.KNN(tr.q, tr.k, nn.Bounds{}, dst)
+				if len(dst) != len(tr.want) {
+					errs <- "result length changed under concurrency"
+					return
+				}
+				for j := range tr.want {
+					if dst[j].ID != tr.want[j].ID {
+						errs <- "result changed under concurrency"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -1,18 +1,33 @@
 package wire
 
 import (
+	"bytes"
+	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/geom"
 )
 
 // FuzzDecode drives the decoder with arbitrary bytes; it must never panic
-// and must round-trip every message it accepts.
+// and must round-trip every message it accepts. For the client-server
+// messages the encoding is canonical, so acceptance implies byte-identical
+// re-encoding; the peer-channel CacheShare re-sorts on decode and is held to
+// the weaker semantic equivalence instead.
 func FuzzDecode(f *testing.F) {
 	rng := rand.New(rand.NewSource(1))
 	f.Add(EncodeCacheRequest())
 	f.Add(EncodeCacheShare(samplePC(0, rng)))
 	f.Add(EncodeCacheShare(samplePC(3, rng)))
 	f.Add(EncodeCacheShare(samplePC(40, rng)))
+	f.Add(EncodePosition(geom.Pt(12.5, -7.75)))
+	f.Add(EncodeQuery(Query{ReqID: 1, K: 5, Loc: geom.Pt(100, 200)}))
+	f.Add(EncodeQuery(Query{ReqID: 2, K: 1, Loc: geom.Pt(-1, 1),
+		HasLower: true, Lower: 10, HasUpper: true, Upper: 90}))
+	f.Add(EncodeRange(RangeQuery{ReqID: 3, Loc: geom.Pt(0, 0), Radius: 500}))
+	f.Add(EncodeAnswer(sampleAnswer(4, 0, rng)))
+	f.Add(EncodeAnswer(sampleAnswer(5, 7, rng)))
+	f.Add(EncodeError(ErrorMsg{ReqID: 6, Code: ErrCodeBadRequest}))
 	f.Add([]byte("SENN"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -20,12 +35,13 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
+		var re []byte
 		switch msg.Type {
 		case TypeCacheRequest:
-			// Nothing further to check.
+			re = EncodeCacheRequest()
 		case TypeCacheShare:
 			// Accepted cache-shares must re-encode to a decodable message
-			// describing the same cache.
+			// describing the same cache (the decoder may have re-sorted).
 			re := EncodeCacheShare(msg.Cache)
 			msg2, err := Decode(re)
 			if err != nil {
@@ -37,8 +53,92 @@ func FuzzDecode(f *testing.F) {
 			if msg2.Cache.Radius() != msg.Cache.Radius() {
 				t.Fatalf("re-encode changed radius")
 			}
+			return
+		case TypePosition:
+			re = EncodePosition(msg.Pos)
+		case TypeQuery:
+			re = EncodeQuery(msg.Query)
+		case TypeRange:
+			re = EncodeRange(msg.Range)
+		case TypeAnswer:
+			re = EncodeAnswer(msg.Answer)
+		case TypeError:
+			re = EncodeError(msg.Err)
 		default:
 			t.Fatalf("decoder accepted unknown type %d", msg.Type)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("type %d: accepted message is not canonical: % x != % x", msg.Type, re, data)
+		}
+	})
+}
+
+// FuzzQueryRoundTrip exercises the Query codec from the field side: every
+// well-formed Query must survive encode/decode unchanged.
+func FuzzQueryRoundTrip(f *testing.F) {
+	f.Add(uint32(1), uint32(5), 100.0, 200.0, false, 0.0, false, 0.0)
+	f.Add(uint32(9), uint32(1), -1e6, 1e6, true, 25.0, true, 250.0)
+	f.Add(^uint32(0), uint32(MaxQueryK), 0.0, 0.0, true, 0.0, false, 0.0)
+	f.Fuzz(func(t *testing.T, reqID, k uint32, x, y float64, hasLo bool, lo float64, hasHi bool, hi float64) {
+		// Constrain the inputs to the codec's declared domain; everything
+		// else is the malformed-input fuzzer's job.
+		if k < 1 || k > MaxQueryK {
+			k = 1 + k%MaxQueryK
+		}
+		if !finite(geom.Pt(x, y)) {
+			return
+		}
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
+			return
+		}
+		q := Query{ReqID: reqID, K: int(k), Loc: geom.Pt(x, y)}
+		if hasLo {
+			q.HasLower, q.Lower = true, lo
+		}
+		if hasHi {
+			q.HasUpper, q.Upper = true, hi
+		}
+		msg, err := Decode(EncodeQuery(q))
+		if err != nil {
+			t.Fatalf("well-formed query rejected: %v (%+v)", err, q)
+		}
+		if msg.Query != q {
+			t.Fatalf("round trip changed query: %+v != %+v", msg.Query, q)
+		}
+	})
+}
+
+// FuzzAnswerRoundTrip builds valid answers from fuzzed seeds and checks the
+// decoder preserves them exactly: count, neighbor order (including distance
+// ties), page cost, and bytes.
+func FuzzAnswerRoundTrip(f *testing.F) {
+	f.Add(uint32(1), int64(17), int64(42), uint8(0))
+	f.Add(uint32(2), int64(0), int64(7), uint8(3))
+	f.Add(uint32(3), int64(9999), int64(1), uint8(64))
+	f.Fuzz(func(t *testing.T, reqID uint32, pages, seed int64, n uint8) {
+		if pages < 0 {
+			pages = -pages
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := Answer{ReqID: reqID, Pages: pages, Cache: samplePC(int(n)%128, rng)}
+		buf := EncodeAnswer(a)
+		msg, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("well-formed answer rejected: %v", err)
+		}
+		if msg.Answer.ReqID != a.ReqID || msg.Answer.Pages != a.Pages {
+			t.Fatalf("round trip changed answer header")
+		}
+		if len(msg.Answer.Cache.Neighbors) != len(a.Cache.Neighbors) {
+			t.Fatalf("round trip changed neighbor count")
+		}
+		for i := range a.Cache.Neighbors {
+			if msg.Answer.Cache.Neighbors[i] != a.Cache.Neighbors[i] {
+				t.Fatalf("round trip changed neighbor %d", i)
+			}
+		}
+		if !bytes.Equal(EncodeAnswer(msg.Answer), buf) {
+			t.Fatalf("re-encode differs")
 		}
 	})
 }

@@ -1,9 +1,12 @@
-// Package wire provides the binary message codec for the peer-to-peer
-// channel. The paper's hosts exchange cached NN results over short-range
-// ad-hoc links (IEEE 802.11x); the codec makes that exchange concrete so the
-// simulator can account for the communication overhead the paper names as
-// the technique's main cost ("it may increase the communication overheads
-// among mobile hosts", §2).
+// Package wire provides the binary message codec for the system's two
+// channels. The peer-to-peer channel carries cached NN results over
+// short-range ad-hoc links (IEEE 802.11x); the codec makes that exchange
+// concrete so the simulator can account for the communication overhead the
+// paper names as the technique's main cost ("it may increase the
+// communication overheads among mobile hosts", §2). The client-server
+// channel (internal/serve) carries position updates, kNN/range queries, and
+// served answers between a mobile client and the remote spatial database
+// over WebSocket binary frames.
 //
 // The format is a fixed little-endian layout with a versioned header:
 //
@@ -19,6 +22,12 @@
 //	6       8+8   query location x, y (float64)
 //	22      4     neighbor count n (uint32)
 //	26      n*24  neighbors: id (int64), x, y (float64)
+//
+// The client-server payloads are documented on their message types below.
+// Encoding is canonical: for every message Decode accepts (except
+// CacheShare, whose decoder re-sorts neighbors), re-encoding the decoded
+// message reproduces the input bytes exactly — the property the round-trip
+// fuzz targets pin.
 package wire
 
 import (
@@ -38,7 +47,65 @@ const (
 	// TypeCacheRequest asks peers in range to share their caches. Its
 	// payload is empty; the type exists so request traffic can be accounted.
 	TypeCacheRequest byte = 2
+
+	// Client-server channel (internal/serve).
+
+	// TypePosition is a client position update:
+	//
+	//	6       8+8   position x, y (float64)
+	TypePosition byte = 3
+	// TypeQuery is a kNN request shipped with the paper's §3.3 pruning
+	// bounds (the part of the query the client could not certify from
+	// peers):
+	//
+	//	6       4     request id (uint32)
+	//	10      4     k (uint32, 1..MaxQueryK)
+	//	14      8+8   query location x, y (float64)
+	//	30      1     bound flags (bit 0: lower, bit 1: upper)
+	//	31      8     lower bound (float64; zero bits when unset)
+	//	39      8     upper bound (float64; zero bits when unset)
+	TypeQuery byte = 4
+	// TypeRange is a range request: every POI within the radius.
+	//
+	//	6       4     request id (uint32)
+	//	10      8+8   query location x, y (float64)
+	//	26      8     radius (float64, finite, >= 0)
+	TypeRange byte = 5
+	// TypeAnswer is the server's reply to a Query or Range request. Its
+	// body is the certain-region metadata a client caches and later shares
+	// and verifies exactly like a simulated host: the echoed query location
+	// plus the complete ascending-by-distance neighbor set (for a kNN
+	// answer the certain radius is the distance to the last neighbor; for a
+	// range answer it is the requested radius).
+	//
+	//	6       4     request id (uint32)
+	//	10      8     page accesses this query cost the server (int64, >= 0)
+	//	18      8+8   query location x, y (float64)
+	//	34      4     neighbor count n (uint32)
+	//	38      n*24  neighbors: id (int64), x, y (float64), ascending dist
+	TypeAnswer byte = 6
+	// TypeError is the server's per-request failure reply.
+	//
+	//	6       4     request id (uint32; 0 when no request is attributable)
+	//	10      4     error code (uint32)
+	TypeError byte = 7
 )
+
+// Error codes carried by TypeError messages.
+const (
+	// ErrCodeBadRequest: malformed or out-of-range request parameters.
+	ErrCodeBadRequest uint32 = 1
+	// ErrCodeUnsupported: a message type this channel does not serve
+	// (e.g. a peer-channel CacheShare sent to the server).
+	ErrCodeUnsupported uint32 = 2
+	// ErrCodeTooLarge: the answer would exceed the channel's message cap.
+	ErrCodeTooLarge uint32 = 3
+)
+
+// MaxQueryK caps the k a Query message may carry, bounding the answer a
+// well-formed request can demand (AnswerSize(MaxQueryK) ≈ 96 KiB, well under
+// the transport's message cap).
+const MaxQueryK = 4096
 
 const (
 	version    byte = 1
@@ -57,6 +124,8 @@ var (
 	ErrBadType    = errors.New("wire: unknown message type")
 	ErrTruncated  = errors.New("wire: truncated payload")
 	ErrBadFloat   = errors.New("wire: non-finite coordinate")
+	ErrBadValue   = errors.New("wire: invalid field value")
+	ErrUnsorted   = errors.New("wire: answer neighbors not in ascending distance order")
 )
 
 // CacheRequestSize is the encoded size of a cache request.
@@ -89,6 +158,135 @@ func EncodeCacheShare(pc core.PeerCache) []byte {
 	return buf
 }
 
+// Query is a decoded TypeQuery payload: a kNN request under the §3.3
+// pruning bounds. The bound fields mirror nn.Bounds without importing it, so
+// the codec stays free of algorithm dependencies.
+type Query struct {
+	ReqID    uint32
+	K        int
+	Loc      geom.Point
+	HasLower bool
+	Lower    float64
+	HasUpper bool
+	Upper    float64
+}
+
+// RangeQuery is a decoded TypeRange payload.
+type RangeQuery struct {
+	ReqID  uint32
+	Loc    geom.Point
+	Radius float64
+}
+
+// Answer is a decoded TypeAnswer payload. Cache carries the certain-region
+// metadata (query location + ascending neighbor set); Pages is the server's
+// page-access cost for this one query (the PAR metric over the wire).
+//
+// Unlike a CacheShare, an Answer's neighbor order is authoritative — the
+// server emits ascending distance with ties in index order, and the decoder
+// validates rather than re-sorts, so a decode/encode round trip preserves
+// the server's exact bytes (what the served-vs-in-process oracle test
+// compares).
+type Answer struct {
+	ReqID uint32
+	Pages int64
+	Cache core.PeerCache
+}
+
+// ErrorMsg is a decoded TypeError payload.
+type ErrorMsg struct {
+	ReqID uint32
+	Code  uint32
+}
+
+// Encoded sizes of the fixed-layout client-server messages.
+const (
+	PositionSize = headerSize + pointSize
+	QuerySize    = headerSize + 4 + 4 + pointSize + 1 + 8 + 8
+	RangeSize    = headerSize + 4 + pointSize + 8
+	ErrorSize    = headerSize + 4 + 4
+)
+
+// AnswerSize returns the encoded size of an answer carrying n neighbors.
+func AnswerSize(n int) int { return headerSize + 4 + 8 + pointSize + 4 + n*poiSize }
+
+// EncodePosition emits a position update.
+func EncodePosition(p geom.Point) []byte {
+	buf := make([]byte, PositionSize)
+	writeHeader(buf, TypePosition)
+	putPoint(buf, headerSize, p)
+	return buf
+}
+
+// Bound flags of the Query layout.
+const (
+	queryFlagLower byte = 1 << 0
+	queryFlagUpper byte = 1 << 1
+)
+
+// EncodeQuery emits a kNN request. Unset bounds are encoded as zero bits so
+// the encoding is canonical.
+func EncodeQuery(q Query) []byte {
+	buf := make([]byte, QuerySize)
+	writeHeader(buf, TypeQuery)
+	off := headerSize
+	binary.LittleEndian.PutUint32(buf[off:], q.ReqID)
+	binary.LittleEndian.PutUint32(buf[off+4:], uint32(q.K))
+	off = putPoint(buf, off+8, q.Loc)
+	var flags byte
+	var lower, upper float64
+	if q.HasLower {
+		flags |= queryFlagLower
+		lower = q.Lower
+	}
+	if q.HasUpper {
+		flags |= queryFlagUpper
+		upper = q.Upper
+	}
+	buf[off] = flags
+	binary.LittleEndian.PutUint64(buf[off+1:], math.Float64bits(lower))
+	binary.LittleEndian.PutUint64(buf[off+9:], math.Float64bits(upper))
+	return buf
+}
+
+// EncodeRange emits a range request.
+func EncodeRange(r RangeQuery) []byte {
+	buf := make([]byte, RangeSize)
+	writeHeader(buf, TypeRange)
+	binary.LittleEndian.PutUint32(buf[headerSize:], r.ReqID)
+	off := putPoint(buf, headerSize+4, r.Loc)
+	binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(r.Radius))
+	return buf
+}
+
+// EncodeAnswer emits a served answer. The cache's neighbors must already be
+// in ascending distance order from the cache's query location (which is how
+// every server path produces them); Decode rejects anything else.
+func EncodeAnswer(a Answer) []byte {
+	buf := make([]byte, AnswerSize(len(a.Cache.Neighbors)))
+	writeHeader(buf, TypeAnswer)
+	off := headerSize
+	binary.LittleEndian.PutUint32(buf[off:], a.ReqID)
+	binary.LittleEndian.PutUint64(buf[off+4:], uint64(a.Pages))
+	off = putPoint(buf, off+12, a.Cache.QueryLoc)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(a.Cache.Neighbors)))
+	off += 4
+	for _, n := range a.Cache.Neighbors {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(n.ID))
+		off = putPoint(buf, off+8, n.Loc)
+	}
+	return buf
+}
+
+// EncodeError emits a per-request failure reply.
+func EncodeError(e ErrorMsg) []byte {
+	buf := make([]byte, ErrorSize)
+	writeHeader(buf, TypeError)
+	binary.LittleEndian.PutUint32(buf[headerSize:], e.ReqID)
+	binary.LittleEndian.PutUint32(buf[headerSize+4:], e.Code)
+	return buf
+}
+
 func writeHeader(buf []byte, typ byte) {
 	copy(buf[:4], magic[:])
 	buf[4] = version
@@ -110,8 +308,13 @@ func getPoint(buf []byte, off int) geom.Point {
 
 // Message is a decoded wire message.
 type Message struct {
-	Type  byte
-	Cache core.PeerCache // valid when Type == TypeCacheShare
+	Type   byte
+	Cache  core.PeerCache // valid when Type == TypeCacheShare
+	Pos    geom.Point     // valid when Type == TypePosition
+	Query  Query          // valid when Type == TypeQuery
+	Range  RangeQuery     // valid when Type == TypeRange
+	Answer Answer         // valid when Type == TypeAnswer
+	Err    ErrorMsg       // valid when Type == TypeError
 }
 
 // Decode parses a wire message, validating structure and coordinates.
@@ -130,9 +333,148 @@ func Decode(buf []byte) (Message, error) {
 		return Message{Type: TypeCacheRequest}, nil
 	case TypeCacheShare:
 		return decodeCacheShare(buf)
+	case TypePosition:
+		return decodePosition(buf)
+	case TypeQuery:
+		return decodeQuery(buf)
+	case TypeRange:
+		return decodeRange(buf)
+	case TypeAnswer:
+		return decodeAnswer(buf)
+	case TypeError:
+		return decodeError(buf)
 	default:
 		return Message{}, fmt.Errorf("%w: %d", ErrBadType, buf[5])
 	}
+}
+
+func decodePosition(buf []byte) (Message, error) {
+	if len(buf) != PositionSize {
+		return Message{}, ErrTruncated
+	}
+	p := getPoint(buf, headerSize)
+	if !finite(p) {
+		return Message{}, ErrBadFloat
+	}
+	return Message{Type: TypePosition, Pos: p}, nil
+}
+
+func decodeQuery(buf []byte) (Message, error) {
+	if len(buf) != QuerySize {
+		return Message{}, ErrTruncated
+	}
+	off := headerSize
+	q := Query{ReqID: binary.LittleEndian.Uint32(buf[off:])}
+	k := binary.LittleEndian.Uint32(buf[off+4:])
+	if k < 1 || k > MaxQueryK {
+		return Message{}, fmt.Errorf("%w: k=%d", ErrBadValue, k)
+	}
+	q.K = int(k)
+	q.Loc = getPoint(buf, off+8)
+	if !finite(q.Loc) {
+		return Message{}, ErrBadFloat
+	}
+	off += 8 + pointSize
+	flags := buf[off]
+	if flags&^(queryFlagLower|queryFlagUpper) != 0 {
+		return Message{}, fmt.Errorf("%w: bound flags %#x", ErrBadValue, flags)
+	}
+	lowerBits := binary.LittleEndian.Uint64(buf[off+1:])
+	upperBits := binary.LittleEndian.Uint64(buf[off+9:])
+	if flags&queryFlagLower != 0 {
+		q.HasLower = true
+		q.Lower = math.Float64frombits(lowerBits)
+		if math.IsNaN(q.Lower) || math.IsInf(q.Lower, 0) {
+			return Message{}, ErrBadFloat
+		}
+	} else if lowerBits != 0 {
+		// Canonical encoding: an unset bound must be zero bits.
+		return Message{}, fmt.Errorf("%w: lower bound set without flag", ErrBadValue)
+	}
+	if flags&queryFlagUpper != 0 {
+		q.HasUpper = true
+		q.Upper = math.Float64frombits(upperBits)
+		if math.IsNaN(q.Upper) || math.IsInf(q.Upper, 0) {
+			return Message{}, ErrBadFloat
+		}
+	} else if upperBits != 0 {
+		return Message{}, fmt.Errorf("%w: upper bound set without flag", ErrBadValue)
+	}
+	return Message{Type: TypeQuery, Query: q}, nil
+}
+
+func decodeRange(buf []byte) (Message, error) {
+	if len(buf) != RangeSize {
+		return Message{}, ErrTruncated
+	}
+	r := RangeQuery{ReqID: binary.LittleEndian.Uint32(buf[headerSize:])}
+	r.Loc = getPoint(buf, headerSize+4)
+	if !finite(r.Loc) {
+		return Message{}, ErrBadFloat
+	}
+	r.Radius = math.Float64frombits(binary.LittleEndian.Uint64(buf[headerSize+4+pointSize:]))
+	if math.IsNaN(r.Radius) || math.IsInf(r.Radius, 0) {
+		return Message{}, ErrBadFloat
+	}
+	if r.Radius < 0 || math.Signbit(r.Radius) {
+		// Negative zero is excluded too: encoding must be canonical.
+		return Message{}, fmt.Errorf("%w: radius %g", ErrBadValue, r.Radius)
+	}
+	return Message{Type: TypeRange, Range: r}, nil
+}
+
+func decodeAnswer(buf []byte) (Message, error) {
+	if len(buf) < AnswerSize(0) {
+		return Message{}, ErrTruncated
+	}
+	off := headerSize
+	a := Answer{ReqID: binary.LittleEndian.Uint32(buf[off:])}
+	a.Pages = int64(binary.LittleEndian.Uint64(buf[off+4:]))
+	if a.Pages < 0 {
+		return Message{}, fmt.Errorf("%w: negative page count", ErrBadValue)
+	}
+	loc := getPoint(buf, off+12)
+	if !finite(loc) {
+		return Message{}, ErrBadFloat
+	}
+	off += 12 + pointSize
+	n := int(binary.LittleEndian.Uint32(buf[off:]))
+	if len(buf) != AnswerSize(n) {
+		return Message{}, ErrTruncated
+	}
+	neighbors := make([]core.POI, n)
+	off += 4
+	prev := -1.0
+	for i := 0; i < n; i++ {
+		id := int64(binary.LittleEndian.Uint64(buf[off:]))
+		p := getPoint(buf, off+8)
+		if !finite(p) {
+			return Message{}, ErrBadFloat
+		}
+		// The answer's order is part of the protocol: neighbors arrive in
+		// non-decreasing distance from the query location, so the decoded
+		// PeerCache satisfies the certain-region invariant without a
+		// re-sort that could reorder the server's tie-breaking.
+		d2 := loc.Dist2(p)
+		if d2 < prev {
+			return Message{}, ErrUnsorted
+		}
+		prev = d2
+		neighbors[i] = core.POI{ID: id, Loc: p}
+		off += poiSize
+	}
+	a.Cache = core.PeerCache{QueryLoc: loc, Neighbors: neighbors}
+	return Message{Type: TypeAnswer, Answer: a}, nil
+}
+
+func decodeError(buf []byte) (Message, error) {
+	if len(buf) != ErrorSize {
+		return Message{}, ErrTruncated
+	}
+	return Message{Type: TypeError, Err: ErrorMsg{
+		ReqID: binary.LittleEndian.Uint32(buf[headerSize:]),
+		Code:  binary.LittleEndian.Uint32(buf[headerSize+4:]),
+	}}, nil
 }
 
 func decodeCacheShare(buf []byte) (Message, error) {

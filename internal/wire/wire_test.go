@@ -173,7 +173,7 @@ func TestDecodeNeverPanics(t *testing.T) {
 			// Often plant a plausible header so the payload parser runs.
 			copy(buf[:4], "SENN")
 			buf[4] = 1
-			buf[5] = byte(1 + rng.Intn(2))
+			buf[5] = byte(1 + rng.Intn(7))
 		}
 		func() {
 			defer func() {
@@ -183,6 +183,207 @@ func TestDecodeNeverPanics(t *testing.T) {
 			}()
 			Decode(buf)
 		}()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client-server channel messages.
+
+// sampleAnswer builds a valid served answer: neighbors ascending by distance
+// (NewPeerCache establishes the order), non-negative page count.
+func sampleAnswer(reqID uint32, n int, rng *rand.Rand) Answer {
+	return Answer{
+		ReqID: reqID,
+		Pages: rng.Int63n(1000),
+		Cache: samplePC(n, rng),
+	}
+}
+
+func TestPositionRoundTrip(t *testing.T) {
+	p := geom.Pt(123.5, -77.25)
+	buf := EncodePosition(p)
+	if len(buf) != PositionSize {
+		t.Fatalf("size %d, want %d", len(buf), PositionSize)
+	}
+	msg, err := Decode(buf)
+	if err != nil || msg.Type != TypePosition {
+		t.Fatalf("decode: %v type %d", err, msg.Type)
+	}
+	if !msg.Pos.Eq(p) {
+		t.Errorf("pos %v != %v", msg.Pos, p)
+	}
+	if !bytes.Equal(EncodePosition(msg.Pos), buf) {
+		t.Error("re-encode differs")
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	cases := []Query{
+		{ReqID: 1, K: 1, Loc: geom.Pt(10, 20)},
+		{ReqID: 7, K: 5, Loc: geom.Pt(-3, 4), HasLower: true, Lower: 12.5},
+		{ReqID: 9, K: MaxQueryK, Loc: geom.Pt(0, 0), HasUpper: true, Upper: 99},
+		{ReqID: ^uint32(0), K: 64, Loc: geom.Pt(1e6, -1e6),
+			HasLower: true, Lower: 3, HasUpper: true, Upper: 30},
+	}
+	for i, q := range cases {
+		buf := EncodeQuery(q)
+		if len(buf) != QuerySize {
+			t.Fatalf("case %d: size %d, want %d", i, len(buf), QuerySize)
+		}
+		msg, err := Decode(buf)
+		if err != nil || msg.Type != TypeQuery {
+			t.Fatalf("case %d: decode: %v type %d", i, err, msg.Type)
+		}
+		if msg.Query != q {
+			t.Errorf("case %d: decoded %+v, want %+v", i, msg.Query, q)
+		}
+		if !bytes.Equal(EncodeQuery(msg.Query), buf) {
+			t.Errorf("case %d: re-encode differs", i)
+		}
+	}
+}
+
+func TestRangeRoundTrip(t *testing.T) {
+	r := RangeQuery{ReqID: 3, Loc: geom.Pt(5, 6), Radius: 250}
+	buf := EncodeRange(r)
+	if len(buf) != RangeSize {
+		t.Fatalf("size %d, want %d", len(buf), RangeSize)
+	}
+	msg, err := Decode(buf)
+	if err != nil || msg.Type != TypeRange {
+		t.Fatalf("decode: %v type %d", err, msg.Type)
+	}
+	if msg.Range != r {
+		t.Errorf("decoded %+v, want %+v", msg.Range, r)
+	}
+	if !bytes.Equal(EncodeRange(msg.Range), buf) {
+		t.Error("re-encode differs")
+	}
+}
+
+func TestAnswerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 3, 50, 500} {
+		a := sampleAnswer(uint32(n)+1, n, rng)
+		buf := EncodeAnswer(a)
+		if len(buf) != AnswerSize(n) {
+			t.Fatalf("n=%d: size %d, want %d", n, len(buf), AnswerSize(n))
+		}
+		msg, err := Decode(buf)
+		if err != nil || msg.Type != TypeAnswer {
+			t.Fatalf("n=%d: decode: %v type %d", n, err, msg.Type)
+		}
+		if msg.Answer.ReqID != a.ReqID || msg.Answer.Pages != a.Pages {
+			t.Fatalf("n=%d: header mismatch: %+v", n, msg.Answer)
+		}
+		// The decoder must preserve the server's exact neighbor order (no
+		// re-sort): byte-for-byte re-encode equality is the oracle property
+		// the serve tests rely on.
+		if !bytes.Equal(EncodeAnswer(msg.Answer), buf) {
+			t.Fatalf("n=%d: re-encode differs", n)
+		}
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	e := ErrorMsg{ReqID: 42, Code: ErrCodeBadRequest}
+	buf := EncodeError(e)
+	if len(buf) != ErrorSize {
+		t.Fatalf("size %d, want %d", len(buf), ErrorSize)
+	}
+	msg, err := Decode(buf)
+	if err != nil || msg.Type != TypeError {
+		t.Fatalf("decode: %v type %d", err, msg.Type)
+	}
+	if msg.Err != e {
+		t.Errorf("decoded %+v, want %+v", msg.Err, e)
+	}
+	if !bytes.Equal(EncodeError(msg.Err), buf) {
+		t.Error("re-encode differs")
+	}
+}
+
+func TestDecodeRejectsBadClientServerMessages(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"query k=0", func() []byte {
+			b := EncodeQuery(Query{ReqID: 1, K: 1, Loc: geom.Pt(1, 1)})
+			b[10] = 0 // k field
+			return b
+		}(), ErrBadValue},
+		{"query k over cap", EncodeQuery(Query{ReqID: 1, K: MaxQueryK + 1, Loc: geom.Pt(1, 1)}), ErrBadValue},
+		{"query unknown flag", func() []byte {
+			b := EncodeQuery(Query{ReqID: 1, K: 1, Loc: geom.Pt(1, 1)})
+			b[30] = 0x80
+			return b
+		}(), ErrBadValue},
+		{"query lower without flag", func() []byte {
+			b := EncodeQuery(Query{ReqID: 1, K: 1, Loc: geom.Pt(1, 1), HasLower: true, Lower: 5})
+			b[30] = 0 // clear flags, leave the bound bits behind
+			return b
+		}(), ErrBadValue},
+		{"query NaN bound", EncodeQuery(Query{ReqID: 1, K: 1, Loc: geom.Pt(1, 1),
+			HasUpper: true, Upper: math.NaN()}), ErrBadFloat},
+		{"query NaN location", EncodeQuery(Query{ReqID: 1, K: 1, Loc: geom.Pt(math.NaN(), 0)}), ErrBadFloat},
+		{"query truncated", EncodeQuery(Query{ReqID: 1, K: 1, Loc: geom.Pt(1, 1)})[:20], ErrTruncated},
+		{"position Inf", EncodePosition(geom.Pt(math.Inf(1), 0)), ErrBadFloat},
+		{"range negative radius", EncodeRange(RangeQuery{ReqID: 1, Loc: geom.Pt(1, 1), Radius: -5}), ErrBadValue},
+		{"range negative zero radius", EncodeRange(RangeQuery{ReqID: 1, Loc: geom.Pt(1, 1),
+			Radius: math.Copysign(0, -1)}), ErrBadValue},
+		{"range Inf radius", EncodeRange(RangeQuery{ReqID: 1, Loc: geom.Pt(1, 1), Radius: math.Inf(1)}), ErrBadFloat},
+		{"answer negative pages", EncodeAnswer(Answer{ReqID: 1, Pages: -1, Cache: samplePC(2, rng)}), ErrBadValue},
+		{"answer unsorted", EncodeAnswer(Answer{ReqID: 1, Cache: core.PeerCache{
+			QueryLoc: geom.Pt(0, 0),
+			Neighbors: []core.POI{
+				{ID: 1, Loc: geom.Pt(9, 0)},
+				{ID: 2, Loc: geom.Pt(1, 0)},
+			},
+		}}), ErrUnsorted},
+		{"answer count lies", func() []byte {
+			b := EncodeAnswer(sampleAnswer(1, 3, rng))
+			b[34] = 200
+			return b
+		}(), ErrTruncated},
+		{"answer NaN neighbor", EncodeAnswer(Answer{ReqID: 1, Cache: core.PeerCache{
+			QueryLoc:  geom.Pt(0, 0),
+			Neighbors: []core.POI{{ID: 1, Loc: geom.Pt(math.NaN(), 0)}},
+		}}), ErrBadFloat},
+		{"error truncated", EncodeError(ErrorMsg{ReqID: 1, Code: 2})[:12], ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.buf)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("Decode = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// An answer with equal-distance neighbors (ties broken by ID on the server)
+// must decode in the transmitted order — non-decreasing, not strictly
+// increasing.
+func TestAnswerKeepsEqualDistanceOrder(t *testing.T) {
+	a := Answer{ReqID: 1, Cache: core.PeerCache{
+		QueryLoc: geom.Pt(0, 0),
+		Neighbors: []core.POI{
+			{ID: 3, Loc: geom.Pt(5, 0)},
+			{ID: 8, Loc: geom.Pt(0, 5)},
+			{ID: 9, Loc: geom.Pt(-5, 0)},
+		},
+	}}
+	msg, err := Decode(EncodeAnswer(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int64{3, 8, 9} {
+		if msg.Answer.Cache.Neighbors[i].ID != want {
+			t.Fatalf("neighbor %d = %d, want %d (tie order not preserved)", i, msg.Answer.Cache.Neighbors[i].ID, want)
+		}
 	}
 }
 
