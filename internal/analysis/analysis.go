@@ -14,6 +14,15 @@
 // Scope field (x/tools drivers express package scoping outside the
 // analyzer; our driver reads it from the Analyzer itself).
 //
+// The v2 layer (summary.go) adds a per-package call graph with bottom-up
+// function summaries — blocking behavior, loop shape, termination signals,
+// error sources, rand-field flows — shared by the cross-function analyzers:
+// locksafe (mutex held across a blocking call; sync types copied by value),
+// goleak (goroutine spawned with no reachable termination path), errsink
+// (discarded errors from conn/wire/pagestore operations and their
+// same-package wrappers), and globalrand's closure-escape check. The
+// annotation analyzer audits the suppression comments themselves.
+//
 // Suppression annotations: a comment of the form
 //
 //	//simvet:ordered
@@ -26,9 +35,18 @@
 //	//simvet:exact
 //
 // declares that the file implements exact-arithmetic float comparisons and
-// is exempt from floateq. Annotations are deliberately narrow: each one
-// names the analyzer class it silences, so a grep for "simvet:" enumerates
-// every reviewed exception in the tree.
+// is exempt from floateq. The serving-layer analyzers add three more
+// statement-level keys:
+//
+//	//simvet:discard  — errsink: this error is uninformative here (say why)
+//	//simvet:lockio   — locksafe: this lock deliberately serializes this I/O
+//	//simvet:detached — goleak: this goroutine intentionally runs to exit
+//
+// Annotations are deliberately narrow: each one names the analyzer class it
+// silences, so a grep for "simvet:" enumerates every reviewed exception in
+// the tree, and the annotation analyzer rejects any key outside
+// KnownAnnotationKeys — a typo'd suppression fails the lint instead of
+// silently suppressing nothing.
 package analysis
 
 import (
@@ -225,6 +243,10 @@ func Analyzers() []*Analyzer {
 		WallTime,
 		FloatEq,
 		CounterAtomic,
+		LockSafe,
+		GoLeak,
+		ErrSink,
+		Annotation,
 	}
 }
 
@@ -239,4 +261,17 @@ var DeterministicPackages = []string{
 	"repro/internal/rtree",
 	"repro/internal/spatialnet",
 	"repro/internal/pagestore",
+}
+
+// ServingPackages are the import-path prefixes the cross-function
+// concurrency analyzers (locksafe, goleak, errsink) run over: the network
+// serving stack, the simulator it drives, the wire protocol, and the
+// command binaries that tie them together. These are the packages where a
+// wedged peer or a leaked goroutine is a cross-connection outage rather
+// than a local bug.
+var ServingPackages = []string{
+	"repro/internal/serve",
+	"repro/internal/sim",
+	"repro/internal/wire",
+	"repro/cmd",
 }

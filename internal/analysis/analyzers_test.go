@@ -2,6 +2,7 @@ package analysis_test
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -22,8 +23,58 @@ func TestMapOrderFixture(t *testing.T) {
 
 func TestGlobalRandFixture(t *testing.T) {
 	diags := analysis.RunWant(t, analysis.GlobalRand, analysis.Fixture(t, "globalrand"))
-	if len(diags) != 7 {
-		t.Errorf("globalrand: got %d diagnostics, want 7", len(diags))
+	if len(diags) != 11 {
+		t.Errorf("globalrand: got %d diagnostics, want 11", len(diags))
+	}
+}
+
+func TestLockSafeFixture(t *testing.T) {
+	diags := analysis.RunWant(t, analysis.LockSafe, analysis.Fixture(t, "locksafe"))
+	if len(diags) != 9 {
+		t.Errorf("locksafe: got %d diagnostics, want 9", len(diags))
+	}
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	diags := analysis.RunWant(t, analysis.GoLeak, analysis.Fixture(t, "goleak"))
+	if len(diags) != 3 {
+		t.Errorf("goleak: got %d diagnostics, want 3", len(diags))
+	}
+}
+
+func TestErrSinkFixture(t *testing.T) {
+	diags := analysis.RunWant(t, analysis.ErrSink, analysis.Fixture(t, "errsink"))
+	if len(diags) != 6 {
+		t.Errorf("errsink: got %d diagnostics, want 6", len(diags))
+	}
+}
+
+// TestAnnotationFixture asserts the annotation analyzer's findings directly:
+// a want clause cannot share its line with the malformed comment under test,
+// so the fixture is checked by message substring instead.
+func TestAnnotationFixture(t *testing.T) {
+	loader := analysis.NewLoader()
+	dir := analysis.Fixture(t, "annotation")
+	pkg, err := loader.Load(dir, "testdata/annotation")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := analysis.Run(analysis.Annotation, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstr := []string{
+		`unknown //simvet: key "dicard"`,
+		`malformed simvet annotation "// simvet:ordered`,
+		`malformed simvet annotation "//simvet: ordered"`,
+	}
+	if len(diags) != len(wantSubstr) {
+		t.Fatalf("annotation: got %d diagnostics, want %d:\n%v", len(diags), len(wantSubstr), diags)
+	}
+	for i, want := range wantSubstr {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("annotation diagnostic %d = %q, want substring %q", i, diags[i].Message, want)
+		}
 	}
 }
 
@@ -65,10 +116,48 @@ func TestAnalyzerScopes(t *testing.T) {
 		{analysis.FloatEq, "repro/internal/core", false},
 		{analysis.CounterAtomic, "repro/internal/pagestore", true}, // empty scope: everywhere
 		{analysis.CounterAtomic, "repro/cmd/benchjson", true},
+		{analysis.LockSafe, "repro/internal/serve", true},
+		{analysis.LockSafe, "repro/internal/rtree", false},
+		{analysis.GoLeak, "repro/internal/wire", true},
+		{analysis.GoLeak, "repro/internal/servemesh", false}, // path boundary again
+		{analysis.ErrSink, "repro/cmd/senn-load", true},
+		{analysis.ErrSink, "repro/internal/experiments", false},
+		{analysis.Annotation, "repro/internal/geom", true}, // empty scope: everywhere
 	}
 	for _, c := range cases {
 		if got := c.analyzer.AppliesTo(c.pkg); got != c.want {
 			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestSuiteComplete pins the suite roster: the five v1 analyzers, the three
+// cross-function v2 analyzers, and the annotation audit — and checks that
+// every suppression key names an analyzer that is actually registered, so a
+// key cannot outlive its analyzer.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"maporder", "globalrand", "walltime", "floateq", "counteratomic",
+		"locksafe", "goleak", "errsink", "annotation",
+	}
+	byName := map[string]bool{}
+	for _, a := range analysis.Analyzers() {
+		if byName[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		byName[a.Name] = true
+	}
+	for _, name := range want {
+		if !byName[name] {
+			t.Errorf("analyzer %q missing from Analyzers()", name)
+		}
+	}
+	if len(byName) != len(want) {
+		t.Errorf("suite has %d analyzers, want %d", len(byName), len(want))
+	}
+	for key, analyzer := range analysis.KnownAnnotationKeys {
+		if !byName[analyzer] {
+			t.Errorf("annotation key %q names unregistered analyzer %q", key, analyzer)
 		}
 	}
 }

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// KnownAnnotationKeys is the exhaustive inventory of //simvet:<key>
+// suppression annotations, mapping each key to the analyzer it silences.
+// The annotation analyzer fails the build on any other key, so a typo'd
+// suppression (//simvet:dicard) — which would otherwise silence nothing
+// while looking reviewed — is caught at lint time.
+var KnownAnnotationKeys = map[string]string{
+	"ordered":  "maporder",
+	"exact":    "floateq",
+	"discard":  "errsink",
+	"lockio":   "locksafe",
+	"detached": "goleak",
+}
+
+// Annotation validates the //simvet: annotations themselves: every key
+// must be in KnownAnnotationKeys, and the comment must use the exact
+// machine-readable form (no space between // and simvet:, no space around
+// the colon) — a malformed annotation is inert, which is worse than
+// absent, because it reads as a reviewed exception while suppressing
+// nothing.
+var Annotation = &Analyzer{
+	Name: "annotation",
+	Doc:  "flags //simvet: annotations with unknown keys or malformed spelling (an inert suppression silences nothing while looking reviewed)",
+	Run:  runAnnotation,
+}
+
+// inertAnnotation matches comment spellings the suppression machinery does
+// not recognize but a human plainly meant as one: leading whitespace before
+// the marker, or whitespace around the colon.
+var inertAnnotation = regexp.MustCompile(`^//\s+simvet\s*:|^//simvet\s+:|^//simvet:\s`)
+
+func runAnnotation(pass *Pass) error {
+	known := knownKeysList()
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "/") || !strings.Contains(c.Text, "simvet") {
+					continue
+				}
+				if key, ok := annotationKey(c.Text); ok {
+					if _, isKnown := KnownAnnotationKeys[key]; !isKnown {
+						pass.Reportf(c.Pos(),
+							"unknown //simvet: key %q suppresses nothing (known keys: %s); fix the key or drop the annotation",
+							key, known)
+					}
+					continue
+				}
+				if inertAnnotation.MatchString(c.Text) {
+					pass.Reportf(c.Pos(),
+						"malformed simvet annotation %q is inert; write //simvet:<key> with no spaces",
+						firstLine(c.Text))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func knownKeysList() string {
+	keys := make([]string, 0, len(KnownAnnotationKeys))
+	for k := range KnownAnnotationKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 40 {
+		s = s[:40] + "…"
+	}
+	return s
+}

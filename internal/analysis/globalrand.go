@@ -36,6 +36,15 @@ import (
 //     legitimate fan-out pattern — one literal invoked once per shard,
 //     each invocation selecting its own per-shard element — uses a single
 //     literal and stays silent.
+//
+//  4. The cross-function variant of shape 3, via the call-graph summaries:
+//     the closures never select the rand field themselves, but pass the
+//     captured variable to a same-package function whose summary says it
+//     draws a rand field through that parameter (directly or through
+//     further calls). The generator escapes the function boundary into
+//     caller-spawned workers all the same — the shape the ROADMAP's
+//     hostile-scenario work keeps producing — so the draw is charged to
+//     the call site and the same two-closure rule applies.
 var GlobalRand = &Analyzer{
 	Name:  "globalrand",
 	Doc:   "flags math/rand global-source functions and package-level rand.Rand values in deterministic packages (per-shard RNGs are the parallel-engine contract)",
@@ -61,6 +70,7 @@ func isRandPkg(path string) bool {
 }
 
 func runGlobalRand(pass *Pass) error {
+	sums := Summarize(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -102,26 +112,43 @@ func runGlobalRand(pass *Pass) error {
 		})
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkSharedRandField(pass, fd.Body)
+				checkSharedRandField(pass, sums, fd.Body)
 			}
 		}
 	}
 	return nil
 }
 
-// checkSharedRandField implements violation shape 3: within one function,
-// collect every rand-typed field selection made inside a function literal
-// whose root variable is captured from outside that literal, keyed by
-// (root variable, field). A key reached from two or more distinct literals
-// is one generator shared between worker closures; every use site is
-// reported.
-func checkSharedRandField(pass *Pass, body *ast.BlockStmt) {
+// checkSharedRandField implements violation shapes 3 and 4: within one
+// function, collect every use of a rand-typed field made inside a function
+// literal through a variable captured from outside that literal — a direct
+// field selection (shape 3), or a call passing the captured variable into a
+// same-package function whose summary draws a rand field through that
+// parameter (shape 4) — keyed by (root variable, field). A key reached from
+// two or more distinct literals is one generator shared between worker
+// closures; every use site is reported.
+func checkSharedRandField(pass *Pass, sums *Summaries, body *ast.BlockStmt) {
 	type key struct{ root, field types.Object }
 	type use struct {
 		lit *ast.FuncLit
-		sel *ast.SelectorExpr
+		pos token.Pos
+		via string // same-package callee mediating the draw ("" for a direct selection)
+		in  string // function the draw itself happens in (shape 4 only)
 	}
 	uses := map[key][]use{}
+
+	// captured reports whether root resolves to a variable declared outside
+	// lit (its parameters included), i.e. closure-captured state.
+	captured := func(root *ast.Ident, lit *ast.FuncLit) (types.Object, bool) {
+		obj := pass.TypesInfo.Uses[root]
+		if obj == nil || obj.Pos() == token.NoPos {
+			return nil, false
+		}
+		if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
+			return nil, false
+		}
+		return obj, true
+	}
 
 	var collect func(n ast.Node, lit *ast.FuncLit)
 	collect = func(n ast.Node, lit *ast.FuncLit) {
@@ -137,29 +164,59 @@ func checkSharedRandField(pass *Pass, body *ast.BlockStmt) {
 			if lit == nil {
 				return true
 			}
-			se, ok := m.(*ast.SelectorExpr)
-			if !ok {
-				return true
+			switch m := m.(type) {
+			case *ast.SelectorExpr:
+				selInfo, ok := pass.TypesInfo.Selections[m]
+				if !ok || selInfo.Kind() != types.FieldVal || !isRandType(selInfo.Obj().Type()) {
+					return true
+				}
+				root := rootIdent(m.X)
+				if root == nil {
+					return true
+				}
+				obj, ok := captured(root, lit)
+				if !ok {
+					return true
+				}
+				k := key{root: obj, field: selInfo.Obj()}
+				uses[k] = append(uses[k], use{lit: lit, pos: m.Pos()})
+			case *ast.CallExpr:
+				callee := staticCallee(pass, m)
+				cs := sums.ForFunc(callee)
+				if cs == nil || len(cs.RandFields) == 0 {
+					return true
+				}
+				sig := callee.Type().(*types.Signature)
+				charge := func(arg ast.Expr, calleeVar *types.Var) {
+					root := rootIdent(arg)
+					if root == nil || calleeVar == nil {
+						return
+					}
+					obj, ok := captured(root, lit)
+					if !ok {
+						return
+					}
+					for field := range cs.RandFields[calleeVar] {
+						in := cs.RandVia(calleeVar, field)
+						if in == "" {
+							in = callee.Name()
+						}
+						k := key{root: obj, field: field}
+						uses[k] = append(uses[k], use{lit: lit, pos: arg.Pos(), via: callee.Name(), in: in})
+					}
+				}
+				if recv := sig.Recv(); recv != nil {
+					if sel, ok := m.Fun.(*ast.SelectorExpr); ok {
+						charge(sel.X, recv)
+					}
+				}
+				for i, arg := range m.Args {
+					if i >= sig.Params().Len() {
+						break
+					}
+					charge(arg, sig.Params().At(i))
+				}
 			}
-			selInfo, ok := pass.TypesInfo.Selections[se]
-			if !ok || selInfo.Kind() != types.FieldVal || !isRandType(selInfo.Obj().Type()) {
-				return true
-			}
-			root := rootIdent(se.X)
-			if root == nil {
-				return true
-			}
-			obj := pass.TypesInfo.Uses[root]
-			if obj == nil || obj.Pos() == token.NoPos {
-				return true
-			}
-			// A root declared inside the literal (including its parameters)
-			// is closure-owned state, not a capture.
-			if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
-				return true
-			}
-			k := key{root: obj, field: selInfo.Obj()}
-			uses[k] = append(uses[k], use{lit: lit, sel: se})
 			return true
 		})
 	}
@@ -174,7 +231,13 @@ func checkSharedRandField(pass *Pass, body *ast.BlockStmt) {
 			continue
 		}
 		for _, u := range us {
-			pass.Reportf(u.sel.Pos(),
+			if u.via != "" {
+				pass.Reportf(u.pos,
+					"rand field %s (via %s, drawn in %s) is reachable from %d worker closures; rand.Rand is not goroutine-safe and a shared draw order depends on scheduling — give each closure its own per-shard generator",
+					k.field.Name(), k.root.Name(), u.in, len(lits))
+				continue
+			}
+			pass.Reportf(u.pos,
 				"rand field %s (via %s) is reachable from %d worker closures; rand.Rand is not goroutine-safe and a shared draw order depends on scheduling — give each closure its own per-shard generator",
 				k.field.Name(), k.root.Name(), len(lits))
 		}

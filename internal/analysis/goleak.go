@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoLeak flags `go` statements that spawn a goroutine with no reachable
+// termination path: the spawned function (a literal, or a same-package
+// function resolved through the call-graph summaries) contains an
+// unconditional `for` loop with no exit — no return, no break out of the
+// loop, no panic — and no termination signal flows into it: no
+// context.Context value, no channel operation (a receive, send, select,
+// close, or channel range is how a close-channel or done-channel protocol
+// reaches a worker), and no sync.WaitGroup.Done. Such a goroutine runs
+// until process exit no matter what the rest of the program does — in a
+// per-connection server that is a connection-scoped resource leaked
+// process-wide, and in the simulator it is a worker the determinism
+// harness cannot drain.
+//
+// Straight-line goroutines (no unconditional loop) terminate on their own
+// and stay silent, as do loops with any exit path and loops reached by a
+// signal. A reviewed intentionally-detached goroutine is annotated
+// //simvet:detached on the `go` statement. Spawns of functions the
+// summaries cannot see (other packages, dynamic calls) are skipped rather
+// than guessed at.
+var GoLeak = &Analyzer{
+	Name:  "goleak",
+	Doc:   "flags goroutines spawned without a reachable termination path (no context, close-channel, or WaitGroup flows in and the body loops forever)",
+	Scope: ServingPackages,
+	Run:   runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	sums := Summarize(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			loops, term, known := sums.SpawnFacts(gs.Call)
+			if !known || !loops || term {
+				return true
+			}
+			if pass.Annotated(gs.Pos(), "detached") {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine spawned here loops forever and no termination signal reaches it (no context, channel, or WaitGroup); plumb a stop signal in or annotate //simvet:detached after review")
+			return true
+		})
+	}
+	return nil
+}

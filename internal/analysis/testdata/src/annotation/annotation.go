@@ -1,0 +1,32 @@
+// Package annotation is the fixture for the annotation analyzer. It is
+// checked with direct assertions rather than want comments, because a want
+// clause cannot share a source line with the comment under test.
+package annotation
+
+import "sync"
+
+var mu sync.Mutex
+
+func good() {
+	//simvet:ordered — a known key with trailing prose is the canonical form
+	mu.Lock()
+	mu.Unlock()
+}
+
+func typoKey() {
+	//simvet:dicard — misspelled key: suppresses nothing
+	mu.Lock()
+	mu.Unlock()
+}
+
+func leadingSpace() {
+	// simvet:ordered — space after the slashes makes this inert
+	mu.Lock()
+	mu.Unlock()
+}
+
+func colonSpace() {
+	//simvet: ordered
+	mu.Lock()
+	mu.Unlock()
+}

@@ -1,0 +1,76 @@
+// Package errsink is the fixture for the errsink analyzer: discarded
+// errors from conn-shaped I/O and from same-package wrappers the summaries
+// mark as error sources must be flagged; handled errors, error-free calls,
+// and //simvet:discard-reviewed sites stay silent.
+package errsink
+
+import "time"
+
+// conn carries the net.Conn method-set shape the analyzer detects
+// structurally.
+type conn struct{}
+
+func (conn) Read(p []byte) (int, error)    { return 0, nil }
+func (conn) Write(p []byte) (int, error)   { return len(p), nil }
+func (conn) Close() error                  { return nil }
+func (conn) LocalAddr() string             { return "" }
+func (conn) RemoteAddr() string            { return "" }
+func (conn) SetDeadline(t time.Time) error { return nil }
+
+func bareWrite(c conn, p []byte) {
+	c.Write(p) // want `error from net\.Conn Write is silently discarded`
+}
+
+func blankClose(c conn) {
+	_ = c.Close() // want `error from net\.Conn Close is silently discarded`
+}
+
+func deferClose(c conn) {
+	defer c.Close() // want `error from net\.Conn Close`
+}
+
+func partialBlank(c conn, p []byte) int {
+	n, _ := c.Write(p) // want `error from net\.Conn Write`
+	return n
+}
+
+func handled(c conn, p []byte) error {
+	if _, err := c.Write(p); err != nil { // checked: silent
+		return err
+	}
+	return c.Close() // returned to the caller: silent
+}
+
+// sendFrame wraps the conn write; its error derives from the transport, so
+// discarding it discards the transport's — the summary marks it a source.
+func sendFrame(c conn, p []byte) error {
+	_, err := c.Write(p)
+	return err
+}
+
+func dropWrapped(c conn, p []byte) {
+	sendFrame(c, p) // want `error from sendFrame is silently discarded`
+}
+
+func dropBlank(c conn, p []byte) {
+	_ = sendFrame(c, p) // want `error from sendFrame`
+}
+
+func reviewed(c conn) {
+	//simvet:discard — teardown of an already-failed conn; nothing new to report
+	_ = c.Close()
+}
+
+func inlineReviewed(c conn, p []byte) {
+	_ = sendFrame(c, p) //simvet:discard — best-effort notification on a dying path
+}
+
+func noError(c conn) {
+	_ = c.LocalAddr() // no error in the result list: silent
+}
+
+func fire() {}
+
+func bareCall() {
+	fire() // error-free call: silent
+}

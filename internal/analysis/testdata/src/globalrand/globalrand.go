@@ -78,3 +78,49 @@ func singleClosureUse(s *shardState, run func(func())) {
 		_ = s.rng.Intn(10)
 	})
 }
+
+// The cross-function escape (shape 4): the closures never select the field
+// themselves — they pass the captured state into a helper whose summary
+// says it draws a rand field through that parameter.
+
+func drawShared(s *shardState) int {
+	return s.rng.Intn(10) // drawing through an owned parameter: silent here
+}
+
+func drawDeep(s *shardState) int {
+	return drawShared(s) // one owner per call: silent here
+}
+
+func (s *shardState) draw() int {
+	return s.rng.Intn(10) // method form of the same: silent here
+}
+
+func escapesThroughCall(s *shardState, run func(func())) {
+	run(func() {
+		_ = drawShared(s) // want `rand field rng \(via s, drawn in drawShared\) is reachable from 2 worker closures`
+	})
+	run(func() {
+		_ = drawDeep(s) // want `rand field rng \(via s, drawn in drawShared\)`
+	})
+}
+
+func escapesThroughMethod(s *shardState, run func(func())) {
+	run(func() {
+		_ = s.draw() // want `rand field rng \(via s, drawn in draw\)`
+	})
+	run(func() {
+		_ = s.draw() // want `rand field rng \(via s, drawn in draw\)`
+	})
+}
+
+func callWithOwnedState(run func(func())) {
+	// Each closure builds and passes its own state: silent.
+	run(func() {
+		s := &shardState{rng: rand.New(rand.NewSource(3))}
+		_ = drawShared(s)
+	})
+	run(func() {
+		s := &shardState{rng: rand.New(rand.NewSource(4))}
+		_ = drawShared(s)
+	})
+}

@@ -1,0 +1,96 @@
+// Package goleak is the fixture for the goleak analyzer: goroutines that
+// loop forever with no termination signal reaching them (directly or
+// through same-package calls) must be flagged; bounded bodies, loops with
+// exit paths, channel/context/WaitGroup-driven workers, unresolvable
+// spawns, and //simvet:detached-reviewed goroutines stay silent.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func leaky() {
+	go func() { // want `goroutine spawned here loops forever and no termination signal reaches it`
+		for {
+			work()
+		}
+	}()
+}
+
+// spinForever is the named-function spawn case; the summary carries its
+// loop shape to every `go` site.
+func spinForever() {
+	for {
+		work()
+	}
+}
+
+func spawnNamed() {
+	go spinForever() // want `goroutine spawned here loops forever`
+}
+
+// runLoop only loops through a call — the fixpoint must see through it.
+func runLoop() {
+	work()
+	spinForever()
+}
+
+func spawnIndirect() {
+	go runLoop() // want `goroutine spawned here loops forever`
+}
+
+func straightLine() {
+	go work() // no loop: terminates on its own, silent
+}
+
+func boundedLoop() {
+	go func() {
+		for {
+			if done() {
+				return // an exit path: silent
+			}
+		}
+	}()
+}
+
+func done() bool { return true }
+
+func channelDriven(in chan int) {
+	go func() {
+		for {
+			v := <-in // a channel receive is the termination protocol: silent
+			_ = v
+		}
+	}()
+}
+
+func poll(ctx context.Context) {}
+
+func ctxReferenced(ctx context.Context) {
+	go func() {
+		for {
+			poll(ctx) // the context value flows in: silent
+		}
+	}()
+}
+
+func wgTracked(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done() // a WaitGroup-tracked lifetime: silent
+		for {
+			work()
+		}
+	}()
+}
+
+func dynamic(f func()) {
+	go f() // unresolvable spawn: skipped rather than guessed at, silent
+}
+
+func detached() {
+	//simvet:detached — metrics pump that runs for the life of the process
+	go spinForever()
+}

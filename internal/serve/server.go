@@ -173,6 +173,7 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stat.activeConns.Add(1)
 	defer s.stat.activeConns.Add(-1)
+	//simvet:discard — teardown of a finished connection; serveConn already accounted the session-ending error
 	defer ws.Close()
 	s.serveConn(sess, ws)
 }
@@ -198,6 +199,7 @@ func (s *Server) serveConn(sess *session, ws *WSConn) {
 			// Garbage framing inside a valid WebSocket message: strict
 			// tear-down, like a WebSocket protocol violation.
 			s.stat.protoErrors.Add(1)
+			//simvet:discard — best-effort error report on a connection being torn down; the write failing changes nothing
 			_ = ws.WriteBinary(wire.EncodeError(wire.ErrorMsg{Code: wire.ErrCodeBadRequest}))
 			return
 		}

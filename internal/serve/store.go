@@ -46,7 +46,7 @@ type StoreInfo struct {
 // fanout is the R*-tree branching factor servers must index with; bounds is
 // the area the POIs were drawn from (served to clients for movement and
 // query generation).
-func WriteStore(path string, pois []core.POI, fanout int, bounds geom.Rect) error {
+func WriteStore(path string, pois []core.POI, fanout int, bounds geom.Rect) (err error) {
 	if fanout < 4 {
 		return fmt.Errorf("serve: store fanout %d, want >= 4", fanout)
 	}
@@ -54,7 +54,13 @@ func WriteStore(path string, pois []core.POI, fanout int, bounds geom.Rect) erro
 	if err != nil {
 		return err
 	}
-	defer pf.Close()
+	defer func() {
+		// A close failure after a clean write is still a failed write: the
+		// pages may never have reached the device.
+		if cerr := pf.Close(); err == nil {
+			err = cerr
+		}
+	}()
 
 	header := make([]byte, pagestore.PageSize)
 	binary.LittleEndian.PutUint32(header[0:], storeMagic)
@@ -96,6 +102,7 @@ func ReadStore(path string) (StoreInfo, []core.POI, error) {
 	if err != nil {
 		return StoreInfo{}, nil, err
 	}
+	//simvet:discard — read-only open; there is nothing to flush and the pages are already copied out
 	defer pf.Close()
 	if pf.NumPages() == 0 {
 		return StoreInfo{}, nil, fmt.Errorf("serve: %s: empty store file", path)

@@ -50,6 +50,12 @@ const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
 // the largest well-formed wire answer, AnswerSize(MaxQueryK) ≈ 96 KiB).
 const DefaultMaxMessage = 1 << 20
 
+// closeGrace bounds the transport writes of the closing handshake. Without
+// it, a writer wedged in conn.Write behind a peer that stopped reading
+// holds wmu indefinitely, and every Close/fail caller queues behind that
+// lock forever — shutdown could never interrupt a stuck write.
+const closeGrace = 5 * time.Second
+
 // Errors surfaced by the WebSocket layer.
 var (
 	// ErrConnClosed reports an orderly close handshake from the peer.
@@ -124,15 +130,12 @@ func (c *WSConn) ReadMessage() ([]byte, error) {
 		case opPong:
 			// Unsolicited pongs are legal and ignored (§5.5.3).
 		case opClose:
-			c.closeOnce.Do(func() {
-				// Echo the close (§5.5.1), then tear down the transport.
-				code := payload
-				if len(code) > 2 {
-					code = code[:2]
-				}
-				_ = c.writeFrame(opClose, code)
-				c.closeErr = c.conn.Close()
-			})
+			// Echo the close (§5.5.1), then tear down the transport.
+			code := payload
+			if len(code) > 2 {
+				code = code[:2]
+			}
+			c.shutdown(code)
 			return nil, ErrConnClosed
 		case opBinary:
 			if assembling {
@@ -167,29 +170,36 @@ func (c *WSConn) WriteBinary(p []byte) error { return c.writeFrame(opBinary, p) 
 // Close performs the closing handshake (best effort) and closes the
 // transport. Safe to call multiple times and concurrently with a reader.
 func (c *WSConn) Close() error {
-	c.closeOnce.Do(func() {
-		_ = c.writeFrame(opClose, []byte{0x03, 0xE8}) // 1000: normal closure
-		c.closeErr = c.conn.Close()
-	})
+	c.shutdown([]byte{0x03, 0xE8}) // 1000: normal closure
 	return c.closeErr
 }
 
 // fail sends a 1002 (protocol error) close and returns ErrProtocol.
 func (c *WSConn) fail(reason string) error {
-	c.closeOnce.Do(func() {
-		_ = c.writeFrame(opClose, []byte{0x03, 0xEA}) // 1002
-		c.closeErr = c.conn.Close()
-	})
+	c.shutdown([]byte{0x03, 0xEA}) // 1002
 	return fmt.Errorf("%w: %s", ErrProtocol, reason)
 }
 
 // close1009 sends a 1009 (message too big) close and returns ErrTooLarge.
 func (c *WSConn) close1009() error {
+	c.shutdown([]byte{0x03, 0xF1}) // 1009
+	return ErrTooLarge
+}
+
+// shutdown runs the closing handshake exactly once: bound every transport
+// write with a deadline first — interrupting any writer currently wedged in
+// conn.Write, which would otherwise hold wmu and block the close frame (and
+// every other Close caller) forever — then send the close frame best-effort
+// and tear the transport down. closeErr carries the teardown error for
+// Close to return.
+func (c *WSConn) shutdown(code []byte) {
 	c.closeOnce.Do(func() {
-		_ = c.writeFrame(opClose, []byte{0x03, 0xF1}) // 1009
+		//simvet:discard — a deadline refusal means the transport is already dead; conn.Close below reports that
+		_ = c.conn.SetWriteDeadline(time.Now().Add(closeGrace))
+		//simvet:discard — the close frame is a best-effort courtesy (§5.5.1); the teardown error from conn.Close is the one surfaced
+		_ = c.writeFrame(opClose, code)
 		c.closeErr = c.conn.Close()
 	})
-	return ErrTooLarge
 }
 
 // readFrame reads and unmasks one frame.
@@ -284,8 +294,16 @@ func (c *WSConn) writeFrame(op byte, payload []byte) error {
 		buf = append(buf, payload...)
 	}
 	c.wbuf = buf
+	//simvet:lockio — wmu exists precisely to serialize whole frames onto the transport; shutdown bounds a wedged write with a deadline before contending for it
 	_, err := c.conn.Write(buf)
 	return err
+}
+
+// abortConn tears down a half-made connection on a handshake failure path,
+// where the handshake error already in flight is the informative one.
+func abortConn(conn net.Conn) {
+	//simvet:discard — failure-path teardown; the handshake error being returned supersedes the close error
+	_ = conn.Close()
 }
 
 // headerHasToken reports whether a comma-separated header contains the token
@@ -338,7 +356,7 @@ func Upgrade(w http.ResponseWriter, r *http.Request) (*WSConn, error) {
 		"Connection: Upgrade\r\n" +
 		"Sec-WebSocket-Accept: " + acceptKey(key) + "\r\n\r\n"
 	if _, err := conn.Write([]byte(resp)); err != nil {
-		conn.Close()
+		abortConn(conn)
 		return nil, fmt.Errorf("serve: handshake write: %w", err)
 	}
 	// brw.Reader may already hold frames the client pipelined behind the
@@ -368,7 +386,7 @@ func DialWS(rawURL string) (*WSConn, error) {
 	}
 	var keyRaw [16]byte
 	if _, err := rand.Read(keyRaw[:]); err != nil {
-		conn.Close()
+		abortConn(conn)
 		return nil, fmt.Errorf("serve: dial: %w", err)
 	}
 	key := base64.StdEncoding.EncodeToString(keyRaw[:])
@@ -379,24 +397,24 @@ func DialWS(rawURL string) (*WSConn, error) {
 		"Sec-WebSocket-Key: " + key + "\r\n" +
 		"Sec-WebSocket-Version: 13\r\n\r\n"
 	if _, err := conn.Write([]byte(req)); err != nil {
-		conn.Close()
+		abortConn(conn)
 		return nil, fmt.Errorf("serve: dial: %w", err)
 	}
 	br := bufio.NewReader(conn)
 	resp, err := http.ReadResponse(br, nil)
 	if err != nil {
-		conn.Close()
+		abortConn(conn)
 		return nil, fmt.Errorf("serve: dial: read handshake: %w", err)
 	}
 	if resp.StatusCode != http.StatusSwitchingProtocols {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		resp.Body.Close()
-		conn.Close()
+		abortConn(conn)
 		return nil, fmt.Errorf("serve: dial: handshake refused: %s: %s",
 			resp.Status, strings.TrimSpace(string(body)))
 	}
 	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != acceptKey(key) {
-		conn.Close()
+		abortConn(conn)
 		return nil, fmt.Errorf("serve: dial: bad Sec-WebSocket-Accept %q", got)
 	}
 	return newWSConn(conn, br, true), nil
