@@ -26,7 +26,6 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mobility"
 	"repro/internal/serve"
-	"repro/internal/wire"
 )
 
 type config struct {
@@ -36,6 +35,9 @@ type config struct {
 	k           int
 	rangeEvery  int
 	rangeRadius float64
+	share       bool
+	csize       int
+	txRange     float64
 	seed        int64
 	out         string
 }
@@ -45,6 +47,7 @@ type result struct {
 	queries   int64
 	errors    int64
 	latencies []time.Duration
+	stats     serve.ClientStats
 }
 
 func main() {
@@ -55,6 +58,9 @@ func main() {
 	flag.IntVar(&cfg.k, "k", 5, "neighbors per kNN query")
 	flag.IntVar(&cfg.rangeEvery, "range-every", 10, "issue a range query every Nth query (0 = never)")
 	flag.Float64Var(&cfg.rangeRadius, "range-radius", 300, "range query radius (m)")
+	flag.BoolVar(&cfg.share, "share", true, "exchange peer caches through the daemon relay before falling back to the server")
+	flag.IntVar(&cfg.csize, "csize", 16, "local cache capacity C_Size per session")
+	flag.Float64Var(&cfg.txRange, "txrange", 1000, "transmission radius sent with each peer request (m)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "movement/workload seed")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here too (stdout always)")
 	flag.Parse()
@@ -129,10 +135,13 @@ func fetchBounds(addr string) (geom.Rect, error) {
 	return b, nil
 }
 
-// session runs one mobile client until stop closes: move, report position,
-// query, time the answer. Movement advances in virtual 1-second steps per
-// query — a query rate of one per simulated second, issued as fast as the
-// server answers.
+// session runs one mobile SENN client until stop closes: move, report
+// position, resolve a query (relay exchange, local verification, server
+// fallback — the full Algorithm-1 pipeline of internal/client), time the
+// round trip. Movement advances in virtual 1-second steps per query — a
+// query rate of one per simulated second, issued as fast as resolution
+// completes. With -share=false the relay exchange is skipped but the local
+// cache still serves — the paper's no-sharing baseline.
 func session(cfg config, slot int, pos geom.Point, wp *mobility.Waypoints, stop <-chan struct{}, res *result) error {
 	token, err := newSession(cfg.addr)
 	if err != nil {
@@ -143,8 +152,10 @@ func session(cfg config, slot int, pos geom.Point, wp *mobility.Waypoints, stop 
 		return err
 	}
 	defer ws.Close()
+	cl := serve.NewSENNClient(ws, cfg.csize, cfg.txRange, cfg.share)
+	defer func() { res.stats = cl.Stats() }()
 
-	reqID := uint32(0)
+	n := uint32(0)
 	for {
 		select {
 		case <-stop:
@@ -152,23 +163,17 @@ func session(cfg config, slot int, pos geom.Point, wp *mobility.Waypoints, stop 
 		default:
 		}
 		pos = wp.Advance(slot, pos, 1)
-		if err := ws.WriteBinary(wire.EncodePosition(pos)); err != nil {
+		if err := cl.Move(pos); err != nil {
 			res.errors++
 			return nil
 		}
-		reqID++
-		var payload []byte
-		if cfg.rangeEvery > 0 && reqID%uint32(cfg.rangeEvery) == 0 {
-			payload = wire.EncodeRange(wire.RangeQuery{ReqID: reqID, Loc: pos, Radius: cfg.rangeRadius})
-		} else {
-			payload = wire.EncodeQuery(wire.Query{ReqID: reqID, K: cfg.k, Loc: pos})
-		}
+		n++
 		t0 := time.Now()
-		if err := ws.WriteBinary(payload); err != nil {
-			res.errors++
-			return nil
+		if cfg.rangeEvery > 0 && n%uint32(cfg.rangeEvery) == 0 {
+			_, err = cl.Range(cfg.rangeRadius)
+		} else {
+			_, _, err = cl.Query(cfg.k)
 		}
-		data, err := ws.ReadMessage()
 		if err != nil {
 			// A close while the run is winding down is orderly; anything
 			// mid-run is an error.
@@ -180,14 +185,8 @@ func session(cfg config, slot int, pos geom.Point, wp *mobility.Waypoints, stop 
 				return nil
 			}
 		}
-		rtt := time.Since(t0)
-		msg, err := wire.Decode(data)
-		if err != nil || msg.Type != wire.TypeAnswer || msg.Answer.ReqID != reqID {
-			res.errors++
-			return nil
-		}
 		res.queries++
-		res.latencies = append(res.latencies, rtt)
+		res.latencies = append(res.latencies, time.Since(t0))
 	}
 }
 
@@ -240,15 +239,35 @@ type loadSummary struct {
 	P50Ms         float64 `json:"p50_ms"`
 	P99Ms         float64 `json:"p99_ms"`
 	P999Ms        float64 `json:"p999_ms"`
+	// Sharing columns (kNN queries only; range queries bypass the cache).
+	// peer_solved counts kNN queries certified without the server;
+	// cache_hits is the subset answered by the session's own cache alone.
+	Sharing            bool    `json:"sharing"`
+	KNNQueries         int64   `json:"knn_queries"`
+	PeerSolved         int64   `json:"peer_solved"`
+	PeerSolvedFraction float64 `json:"peer_solved_fraction"`
+	CacheHits          int64   `json:"cache_hits"`
+	CacheHitRate       float64 `json:"cache_hit_rate"`
+	ServerSolved       int64   `json:"server_solved"`
+	SharesReceived     int64   `json:"shares_received"`
+	PeerBytes          int64   `json:"peer_bytes"`
 }
 
 func report(cfg config, results []result, elapsed time.Duration, dialErrors int64) error {
 	var all []time.Duration
 	var queries, errs int64
+	var cs serve.ClientStats
 	for i := range results {
 		queries += results[i].queries
 		errs += results[i].errors
 		all = append(all, results[i].latencies...)
+		st := results[i].stats
+		cs.Queries += st.Queries
+		cs.PeerSolved += st.PeerSolved
+		cs.OwnCacheSolved += st.OwnCacheSolved
+		cs.ServerSolved += st.ServerSolved
+		cs.SharesReceived += st.SharesReceived
+		cs.PeerBytes += st.PeerBytes
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
@@ -267,15 +286,26 @@ func report(cfg config, results []result, elapsed time.Duration, dialErrors int6
 			{Name: "ServeQuery/p999", Runs: int(queries), NsPerOp: float64(p999.Nanoseconds())},
 		},
 		Load: loadSummary{
-			Sessions:      cfg.sessions,
-			DurationSec:   elapsed.Seconds(),
-			Queries:       queries,
-			Errors:        errs,
-			QueriesPerSec: qps,
-			P50Ms:         float64(p50) / float64(time.Millisecond),
-			P99Ms:         float64(p99) / float64(time.Millisecond),
-			P999Ms:        float64(p999) / float64(time.Millisecond),
+			Sessions:       cfg.sessions,
+			DurationSec:    elapsed.Seconds(),
+			Queries:        queries,
+			Errors:         errs,
+			QueriesPerSec:  qps,
+			P50Ms:          float64(p50) / float64(time.Millisecond),
+			P99Ms:          float64(p99) / float64(time.Millisecond),
+			P999Ms:         float64(p999) / float64(time.Millisecond),
+			Sharing:        cfg.share,
+			KNNQueries:     cs.Queries,
+			PeerSolved:     cs.PeerSolved,
+			CacheHits:      cs.OwnCacheSolved,
+			ServerSolved:   cs.ServerSolved,
+			SharesReceived: cs.SharesReceived,
+			PeerBytes:      cs.PeerBytes,
 		},
+	}
+	if cs.Queries > 0 {
+		doc.Load.PeerSolvedFraction = float64(cs.PeerSolved) / float64(cs.Queries)
+		doc.Load.CacheHitRate = float64(cs.OwnCacheSolved) / float64(cs.Queries)
 	}
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -298,5 +328,10 @@ func report(cfg config, results []result, elapsed time.Duration, dialErrors int6
 	fmt.Fprintf(os.Stderr, "senn-load: %d sessions, %d queries in %.1fs (%.0f q/s), p50 %.2fms p99 %.2fms p999 %.2fms\n",
 		cfg.sessions, queries, elapsed.Seconds(), qps,
 		doc.Load.P50Ms, doc.Load.P99Ms, doc.Load.P999Ms)
+	if cs.Queries > 0 {
+		fmt.Fprintf(os.Stderr, "senn-load: sharing=%v peer-solved %d/%d (%.1f%%, own-cache %d), server %d, shares %d\n",
+			cfg.share, cs.PeerSolved, cs.Queries, 100*doc.Load.PeerSolvedFraction,
+			cs.OwnCacheSolved, cs.ServerSolved, cs.SharesReceived)
+	}
 	return nil
 }

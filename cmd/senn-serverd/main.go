@@ -33,9 +33,12 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:8046", "listen address")
-		store = flag.String("store", "", "POI store file to serve (required unless -mkstore)")
-		maxK  = flag.Int("maxk", 512, "largest k served per query")
+		addr         = flag.String("addr", "127.0.0.1:8046", "listen address")
+		store        = flag.String("store", "", "POI store file to serve (required unless -mkstore)")
+		maxK         = flag.Int("maxk", 512, "largest k served per query")
+		maxTxRange   = flag.Float64("max-txrange", 0, "cap on relayed transmission radius (0 = default 10000 m)")
+		relayTimeout = flag.Duration("relay-timeout", 0, "peer relay wait bound (0 = default 2s)")
+		flushBytes   = flag.Int("flush-threshold", 0, "write-batch flush threshold in bytes (0 = default 2048, negative disables)")
 
 		mkstore  = flag.String("mkstore", "", "write a fresh POI store to this path and exit")
 		nPOIs    = flag.Int("pois", 50000, "mkstore: number of POIs")
@@ -67,7 +70,13 @@ func main() {
 	fmt.Printf("senn-serverd: indexed %d POIs (fanout %d) in %v\n",
 		info.Count, info.Fanout, time.Since(t0).Round(time.Millisecond))
 
-	srv := serve.NewServer(mod, serve.Options{MaxK: *maxK, Bounds: info.Bounds})
+	srv := serve.NewServer(mod, serve.Options{
+		MaxK:           *maxK,
+		Bounds:         info.Bounds,
+		MaxTxRange:     *maxTxRange,
+		RelayTimeout:   *relayTimeout,
+		FlushThreshold: *flushBytes,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -258,6 +258,7 @@ var DeterministicPackages = []string{
 	"repro/internal/sim",
 	"repro/internal/experiments",
 	"repro/internal/core",
+	"repro/internal/client",
 	"repro/internal/rtree",
 	"repro/internal/spatialnet",
 	"repro/internal/pagestore",
@@ -272,6 +273,7 @@ var DeterministicPackages = []string{
 var ServingPackages = []string{
 	"repro/internal/serve",
 	"repro/internal/sim",
+	"repro/internal/client",
 	"repro/internal/wire",
 	"repro/cmd",
 }

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/nn"
+	"repro/internal/wire"
+)
+
+// SENNClient is a networked mobile host: the same Algorithm-1 client core
+// the simulator runs (internal/client), wired to the daemon instead of a
+// grid snapshot. Peer caches arrive through the daemon's relay
+// (PeerRequest → PeerShares) and the server fallback travels as a bounded
+// wire Query, so a peer-certified answer here is produced by the identical
+// verification code path a simulated host uses — which is what keeps the
+// served system oracle-exact against the in-process one.
+//
+// The client is synchronous and single-goroutine: every Query drives the
+// connection itself, answering any PeerProbe that arrives while it waits
+// for its own PeerShares or Answer. That inline servicing is not a
+// convenience — a probed client that refused to reply until its own query
+// finished would force every neighbor's relay onto the timeout path.
+type SENNClient struct {
+	ws       *WSConn
+	cache    *cache.Cache
+	resolver *client.Resolver
+	txRange  float64
+	sharing  bool
+
+	pos     geom.Point
+	nextReq uint32
+	// shares holds the caches relayed for the current query; peerSrc and
+	// srv are the resolver's transport adapters, embedded so taking their
+	// address allocates nothing.
+	shares  []core.PeerCache
+	peerSrc relayPeerSource
+	srv     wireServer
+	encBuf  []byte
+
+	stats ClientStats
+}
+
+// ClientStats are one client's cumulative counters.
+type ClientStats struct {
+	// Queries issued, split by how they resolved. PeerSolved counts every
+	// query certified without the server (single-peer, multi-peer);
+	// OwnCacheSolved is the subset certified with zero relayed shares —
+	// the host's own cache entry sufficed.
+	Queries        int64
+	PeerSolved     int64
+	OwnCacheSolved int64
+	ServerSolved   int64
+	// SharesReceived counts peer caches delivered by the relay;
+	// ProbesAnswered counts PeerProbes this client replied to.
+	SharesReceived int64
+	ProbesAnswered int64
+	// PeerMsgs and PeerBytes are the P2P exchange cost at air-interface
+	// (CacheRequest/CacheShare) codec sizes — the same accounting the
+	// simulator reports, so the two are comparable.
+	PeerMsgs  int64
+	PeerBytes int64
+	// Pages is the server-side page-access cost of this client's fallback
+	// queries.
+	Pages int64
+}
+
+// NewSENNClient wraps an established session connection. capacity is the
+// local cache size C_Size (minimum 1); txRange is the transmission radius
+// sent with every PeerRequest; sharing=false skips the relay exchange
+// entirely (a host with its radio off — the server-only baseline).
+func NewSENNClient(ws *WSConn, capacity int, txRange float64, sharing bool) *SENNClient {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &SENNClient{
+		ws:       ws,
+		cache:    cache.New(capacity),
+		resolver: client.NewResolver(),
+		txRange:  txRange,
+		sharing:  sharing,
+	}
+	c.peerSrc.c = c
+	c.srv.c = c
+	return c
+}
+
+// Stats returns the cumulative counters.
+func (c *SENNClient) Stats() ClientStats { return c.stats }
+
+// Cache exposes the client's local cache (tests prime and inspect it).
+func (c *SENNClient) Cache() *cache.Cache { return c.cache }
+
+// Move streams the client's new position to the daemon. The position is
+// what the relay's range sweep reads, so it must precede any Query that
+// expects neighbors to see this host.
+func (c *SENNClient) Move(p geom.Point) error {
+	c.pos = p
+	return c.ws.WriteBinary(wire.EncodePosition(p))
+}
+
+// Query resolves a k-nearest-neighbor query at the client's current
+// position: relay exchange, local verification via the shared client core,
+// bounded server fallback only for the uncertified remainder. The returned
+// candidates are a private copy in ascending distance order.
+func (c *SENNClient) Query(k int) ([]core.Candidate, core.Source, error) {
+	c.resolver.ResetArena()
+	var ps client.PeerSource
+	if c.sharing {
+		if err := c.gatherShares(); err != nil {
+			return nil, 0, err
+		}
+		ps = &c.peerSrc
+	}
+	out := c.resolver.Resolve(client.Request{
+		Q:          c.pos,
+		K:          k,
+		Cache:      c.cache,
+		NeedAnswer: true,
+	}, ps, &c.srv)
+	if out.Err != nil {
+		return nil, out.Src, out.Err
+	}
+	if out.Write.Staged() {
+		out.Write.Apply(c.cache)
+	}
+	c.stats.Queries++
+	c.stats.PeerMsgs += out.Msgs
+	c.stats.PeerBytes += out.Bytes
+	c.stats.Pages += out.Pages
+	if out.PeerSolved() {
+		c.stats.PeerSolved++
+		if len(c.shares) == 0 {
+			c.stats.OwnCacheSolved++
+		}
+	} else {
+		c.stats.ServerSolved++
+	}
+	return out.Answer, out.Src, nil
+}
+
+// Range issues a range query at the client's current position, servicing
+// relay probes while it waits. It returns the number of POIs within the
+// radius. Range answers are certain regions, but they are not distance
+// prefixes, so they never enter the NN cache.
+func (c *SENNClient) Range(radius float64) (int, error) {
+	c.nextReq++
+	reqID := c.nextReq
+	if err := c.ws.WriteBinary(wire.EncodeRange(wire.RangeQuery{
+		ReqID:  reqID,
+		Loc:    c.pos,
+		Radius: radius,
+	})); err != nil {
+		return 0, err
+	}
+	for {
+		msg, err := c.readMsg()
+		if err != nil {
+			return 0, err
+		}
+		switch msg.Type {
+		case wire.TypePeerProbe:
+			if err := c.answerProbe(msg.ProbeID); err != nil {
+				return 0, err
+			}
+		case wire.TypeAnswer:
+			if msg.Answer.ReqID != reqID {
+				return 0, fmt.Errorf("serve: client: answer for request %d, want %d",
+					msg.Answer.ReqID, reqID)
+			}
+			return len(msg.Answer.Cache.Neighbors), nil
+		case wire.TypeError:
+			return 0, fmt.Errorf("serve: client: server error code %d for range request %d",
+				msg.Err.Code, reqID)
+		default:
+			return 0, fmt.Errorf("serve: client: unexpected %d frame while awaiting range answer", msg.Type)
+		}
+	}
+}
+
+// gatherShares runs the relay exchange: send PeerRequest, service probes,
+// collect the PeerShares aggregate into c.shares.
+func (c *SENNClient) gatherShares() error {
+	c.shares = c.shares[:0]
+	c.nextReq++
+	reqID := c.nextReq
+	c.encBuf = wire.AppendPeerRequest(c.encBuf[:0], wire.PeerRequest{
+		ReqID:  reqID,
+		Loc:    c.pos,
+		Radius: c.txRange,
+	})
+	if err := c.ws.WriteBinary(c.encBuf); err != nil {
+		return err
+	}
+	for {
+		msg, err := c.readMsg()
+		if err != nil {
+			return err
+		}
+		switch msg.Type {
+		case wire.TypePeerProbe:
+			if err := c.answerProbe(msg.ProbeID); err != nil {
+				return err
+			}
+		case wire.TypePeerShares:
+			if msg.Shares.ReqID != reqID {
+				return fmt.Errorf("serve: client: peer shares for request %d, want %d",
+					msg.Shares.ReqID, reqID)
+			}
+			// The decoder has already enforced ascending neighbor order on
+			// every share, so they feed the resolver directly — no re-sort.
+			c.shares = append(c.shares, msg.Shares.Shares...)
+			c.stats.SharesReceived += int64(len(msg.Shares.Shares))
+			return nil
+		case wire.TypeError:
+			return fmt.Errorf("serve: client: server error code %d during relay", msg.Err.Code)
+		default:
+			return fmt.Errorf("serve: client: unexpected %d frame while awaiting peer shares", msg.Type)
+		}
+	}
+}
+
+// answerProbe replies to a relay probe with this host's cache entry (or an
+// empty reply — mandatory either way, so the relay's countdown completes).
+func (c *SENNClient) answerProbe(probeID uint32) error {
+	c.stats.ProbesAnswered++
+	ent, ok := c.cache.Entry()
+	if !ok {
+		ent = core.PeerCache{}
+	}
+	c.encBuf = wire.AppendShareReply(c.encBuf[:0], probeID, ok, ent)
+	return c.ws.WriteBinary(c.encBuf)
+}
+
+// readMsg reads and decodes one wire message.
+func (c *SENNClient) readMsg() (wire.Message, error) {
+	data, err := c.ws.ReadMessage()
+	if err != nil {
+		return wire.Message{}, err
+	}
+	return wire.Decode(data)
+}
+
+// relayPeerSource adapts the relayed shares to client.PeerSource. The cost
+// accounting uses air-interface (CacheRequest/CacheShare) codec sizes, not
+// relay-frame sizes: PeerBytes then measures the paper's P2P channel and
+// stays directly comparable with the simulator's metric.
+type relayPeerSource struct{ c *SENNClient }
+
+func (r *relayPeerSource) Gather(q geom.Point, dst []core.PeerCache) ([]core.PeerCache, int64, int64) {
+	msgs, bytes := int64(1), int64(wire.CacheRequestSize)
+	for _, sh := range r.c.shares {
+		msgs++
+		bytes += int64(wire.CacheShareSize(len(sh.Neighbors)))
+	}
+	return append(dst, r.c.shares...), msgs, bytes
+}
+
+// wireServer adapts the daemon's query channel to client.Server: the §3.3
+// pruning bounds ride inside the wire Query, so the EINN search runs
+// bounded server-side exactly as the in-process fallback does.
+type wireServer struct{ c *SENNClient }
+
+func (w *wireServer) KNNInto(q geom.Point, k int, b nn.Bounds, dst []core.POI) ([]core.POI, int64, error) {
+	c := w.c
+	c.nextReq++
+	reqID := c.nextReq
+	c.encBuf = wire.AppendQuery(c.encBuf[:0], wire.Query{
+		ReqID:    reqID,
+		K:        k,
+		Loc:      q,
+		HasLower: b.HasLower,
+		Lower:    b.Lower,
+		HasUpper: b.HasUpper,
+		Upper:    b.Upper,
+	})
+	if err := c.ws.WriteBinary(c.encBuf); err != nil {
+		return nil, 0, err
+	}
+	for {
+		msg, err := c.readMsg()
+		if err != nil {
+			return nil, 0, err
+		}
+		switch msg.Type {
+		case wire.TypePeerProbe:
+			if err := c.answerProbe(msg.ProbeID); err != nil {
+				return nil, 0, err
+			}
+		case wire.TypeAnswer:
+			if msg.Answer.ReqID != reqID {
+				return nil, 0, fmt.Errorf("serve: client: answer for request %d, want %d",
+					msg.Answer.ReqID, reqID)
+			}
+			return append(dst[:0], msg.Answer.Cache.Neighbors...), msg.Answer.Pages, nil
+		case wire.TypeError:
+			return nil, 0, fmt.Errorf("serve: client: server error code %d for request %d",
+				msg.Err.Code, reqID)
+		default:
+			return nil, 0, fmt.Errorf("serve: client: unexpected %d frame while awaiting answer", msg.Type)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/wire"
+)
+
+// The daemon-side peer relay gives networked clients the P2P channel the
+// paper's hosts have over the air (§4.1): a client that wants peer caches
+// sends PeerRequest with its position and transmission radius; the daemon —
+// which already tracks every session's last streamed Position — plays the
+// broadcast medium. It probes each connected session within the radius
+// (PeerProbe), collects their ShareReply frames, and returns the aggregate
+// to the requester as one PeerShares message. The requester then runs the
+// exact same verification core (internal/client) a simulated host runs on
+// its grid-swept peers.
+//
+// Every probed peer replies even when its cache is empty — that is what
+// lets the relay complete on a countdown instead of always riding the
+// timeout. The timeout (Options.RelayTimeout) and the disconnect path cover
+// peers that die or stall mid-probe; late replies after either look like
+// forged probe IDs and are counted, not forwarded.
+//
+// Concurrency: relayTable.mu orders all state transitions; the terminal
+// transition (countdown reaching zero, timeout, or requester disconnect)
+// flips done exactly once, and the PeerShares write to the requester always
+// happens after the lock is released — no mutex is ever held across a
+// transport write. The position scan is a linear sweep of the session
+// table; at daemon scale (hundreds of sessions) that is cheaper than
+// maintaining a spatial index under churn.
+
+// defaultRelayTimeout bounds how long a relay waits for probed peers.
+const defaultRelayTimeout = 2 * time.Second
+
+// defaultMaxTxRange caps the transmission radius a client may request, so
+// one session cannot conscript the whole service area as its neighborhood.
+const defaultMaxTxRange = 10_000.0
+
+// pendingRelay is one in-flight fan-out.
+type pendingRelay struct {
+	reqConn *WSConn
+	reqID   uint32
+	probeID uint32
+	// waiting holds the probed sessions that have not replied yet; the
+	// relay completes when it drains (or the timer / a disconnect ends it).
+	waiting      map[*session]bool
+	shares       []core.PeerCache
+	peersInRange int
+	timer        *time.Timer
+	done         bool
+}
+
+// relayTable is the daemon's in-flight relay state.
+type relayTable struct {
+	mu        sync.Mutex
+	nextProbe uint32
+	pending   map[uint32]*pendingRelay
+}
+
+// peersInRangeBucket maps a peer count to its histogram bucket:
+// 0, 1, 2-3, 4-7, 8-15, 16-31, 32+.
+func peersInRangeBucket(n int) int {
+	b := 0
+	for n > 0 && b < peersInRangeBuckets-1 {
+		b++
+		n >>= 1
+	}
+	return b
+}
+
+// startRelay services one PeerRequest on the requester's connection
+// goroutine. Zero peers in range short-circuits to an immediate empty
+// PeerShares on the requester's own connection; otherwise the relay is
+// registered and every target probed. The returned error is a requester
+// write failure (the caller tears the connection down); probe failures to
+// other sessions only shrink the countdown.
+func (s *Server) startRelay(reqSess *session, ws *WSConn, req wire.PeerRequest) error {
+	radius := req.Radius
+	if radius > s.maxTxRange {
+		radius = s.maxTxRange
+	}
+	s.stat.relayRequests.Add(1)
+
+	// Snapshot the in-range targets: connected sessions (other than the
+	// requester) whose last streamed position lies within the radius.
+	type target struct {
+		sess *session
+		conn *WSConn
+	}
+	var targets []target
+	r2 := radius * radius
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		if sess == reqSess {
+			continue
+		}
+		sess.mu.Lock()
+		conn, pos, hasPos := sess.conn, sess.pos, sess.hasPos
+		sess.mu.Unlock()
+		if conn == nil || !hasPos {
+			continue
+		}
+		if req.Loc.Dist2(pos) > r2 {
+			continue
+		}
+		targets = append(targets, target{sess: sess, conn: conn})
+	}
+	s.mu.Unlock()
+	s.stat.peersInRange[peersInRangeBucket(len(targets))].Add(1)
+
+	if len(targets) == 0 {
+		return ws.WriteBinaryBatched(wire.EncodePeerShares(wire.PeerShares{ReqID: req.ReqID}))
+	}
+
+	pr := &pendingRelay{
+		reqConn:      ws,
+		reqID:        req.ReqID,
+		waiting:      make(map[*session]bool, len(targets)),
+		peersInRange: len(targets),
+	}
+	for _, t := range targets {
+		pr.waiting[t.sess] = true
+	}
+	s.relay.mu.Lock()
+	s.relay.nextProbe++
+	pr.probeID = s.relay.nextProbe
+	if s.relay.pending == nil {
+		s.relay.pending = make(map[uint32]*pendingRelay)
+	}
+	s.relay.pending[pr.probeID] = pr
+	s.relay.mu.Unlock()
+	pr.timer = time.AfterFunc(s.relayTimeout, func() { s.relayExpired(pr.probeID) })
+
+	// Probe outside every lock. A dead target's failed write just removes
+	// it from the countdown, exactly like a disconnect.
+	probe := wire.EncodePeerProbe(pr.probeID)
+	for _, t := range targets {
+		if t.conn.WriteBinary(probe) != nil {
+			s.relayDropPeer(pr.probeID, t.sess)
+		}
+	}
+	return nil
+}
+
+// handleShareReply services one ShareReply on the replying peer's
+// connection goroutine. Unknown probe IDs — forged, duplicate, or simply
+// late after a timeout — are counted and dropped without penalizing the
+// connection: the race against the timer is legitimate, so it cannot be a
+// protocol error.
+func (s *Server) handleShareReply(from *session, sh wire.ShareReply) {
+	s.relay.mu.Lock()
+	pr := s.relay.pending[sh.ProbeID]
+	if pr == nil || !pr.waiting[from] {
+		s.relay.mu.Unlock()
+		s.stat.relayUnknown.Add(1)
+		return
+	}
+	delete(pr.waiting, from)
+	if sh.Has {
+		if len(sh.Cache.Neighbors) > s.maxAnswer {
+			// An oversized share would be refused as an answer too; it does
+			// not reach the requester.
+			s.stat.relayRejected.Add(1)
+		} else {
+			pr.shares = append(pr.shares, sh.Cache)
+		}
+	}
+	fire := len(pr.waiting) == 0 && !pr.done
+	if fire {
+		pr.done = true
+		delete(s.relay.pending, pr.probeID)
+	}
+	s.relay.mu.Unlock()
+	if fire {
+		pr.timer.Stop()
+		s.deliverRelay(pr)
+	}
+}
+
+// relayDropPeer removes one probed session from a relay's countdown (failed
+// probe write or disconnect), delivering the aggregate if it was the last.
+func (s *Server) relayDropPeer(probeID uint32, sess *session) {
+	s.relay.mu.Lock()
+	pr := s.relay.pending[probeID]
+	if pr == nil || !pr.waiting[sess] {
+		s.relay.mu.Unlock()
+		return
+	}
+	delete(pr.waiting, sess)
+	fire := len(pr.waiting) == 0 && !pr.done
+	if fire {
+		pr.done = true
+		delete(s.relay.pending, pr.probeID)
+	}
+	s.relay.mu.Unlock()
+	if fire {
+		pr.timer.Stop()
+		s.deliverRelay(pr)
+	}
+}
+
+// relayExpired is the timer path: deliver whatever arrived in time.
+func (s *Server) relayExpired(probeID uint32) {
+	s.relay.mu.Lock()
+	pr := s.relay.pending[probeID]
+	if pr == nil || pr.done {
+		s.relay.mu.Unlock()
+		return
+	}
+	pr.done = true
+	delete(s.relay.pending, probeID)
+	s.relay.mu.Unlock()
+	s.stat.relayTimeouts.Add(1)
+	s.deliverRelay(pr)
+}
+
+// deliverRelay sends the aggregated PeerShares to the requester. Callers
+// hold no locks and have already made the relay's terminal transition, so
+// this runs exactly once per relay.
+func (s *Server) deliverRelay(pr *pendingRelay) {
+	s.stat.relayShares.Add(int64(len(pr.shares)))
+	buf := wire.EncodePeerShares(wire.PeerShares{
+		ReqID:        pr.reqID,
+		PeersInRange: pr.peersInRange,
+		Shares:       pr.shares,
+	})
+	// An immediate write, not a batched one: delivery often runs on a peer's
+	// connection goroutine, and the requester's own reader is blocked
+	// waiting for exactly this message — it cannot flush its own batch.
+	//simvet:discard — a failed delivery means the requester's transport died; its serveConn observes and accounts that on its next read
+	_ = pr.reqConn.WriteBinary(buf)
+}
+
+// dropConn detaches a finished connection from its session and settles
+// every relay it touches: relays waiting on this session lose one countdown
+// slot (completing if it was the last), and relays this connection
+// requested are cancelled outright — there is nobody left to deliver to.
+func (s *Server) dropConn(sess *session, ws *WSConn) {
+	sess.mu.Lock()
+	if sess.conn == ws {
+		sess.conn = nil
+	}
+	sess.mu.Unlock()
+
+	var fire []*pendingRelay
+	var cancelled []*pendingRelay
+	s.relay.mu.Lock()
+	for id, pr := range s.relay.pending {
+		if pr.reqConn == ws {
+			pr.done = true
+			delete(s.relay.pending, id)
+			cancelled = append(cancelled, pr)
+			continue
+		}
+		if pr.waiting[sess] {
+			delete(pr.waiting, sess)
+			if len(pr.waiting) == 0 && !pr.done {
+				pr.done = true
+				delete(s.relay.pending, id)
+				fire = append(fire, pr)
+			}
+		}
+	}
+	s.relay.mu.Unlock()
+	for _, pr := range cancelled {
+		pr.timer.Stop()
+	}
+	for _, pr := range fire {
+		pr.timer.Stop()
+		s.deliverRelay(pr)
+	}
+}
+
+// position returns the session's last streamed position (used by tests).
+func (sess *session) position() (geom.Point, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.pos, sess.hasPos
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -29,6 +30,16 @@ type Options struct {
 	// Bounds is the service area reported to clients (default: the store's
 	// or the POI set's bounding box).
 	Bounds geom.Rect
+	// MaxTxRange caps the transmission radius a PeerRequest may ask the
+	// relay to sweep (default 10000). Larger requested radii are clamped,
+	// not refused — the paper's hosts cannot grow their antennas either.
+	MaxTxRange float64
+	// RelayTimeout bounds how long a peer-cache relay waits for probed
+	// sessions before delivering what arrived (default 2s).
+	RelayTimeout time.Duration
+	// FlushThreshold is the per-connection write-batching limit in bytes
+	// (default 2048; negative disables batching).
+	FlushThreshold int
 }
 
 // Server is the network face of the remote spatial database: HTTP for
@@ -37,14 +48,19 @@ type Options struct {
 // sim.SnapshotQuerier over the shared read-only R*-tree, so any number of
 // connection goroutines serve concurrently.
 type Server struct {
-	querier   *sim.SnapshotQuerier
-	maxK      int
-	maxAnswer int
-	bounds    geom.Rect
-	mux       *http.ServeMux
+	querier      *sim.SnapshotQuerier
+	maxK         int
+	maxAnswer    int
+	maxTxRange   float64
+	relayTimeout time.Duration
+	flushBytes   int
+	bounds       geom.Rect
+	mux          *http.ServeMux
 
 	mu       sync.Mutex
 	sessions map[string]*session
+
+	relay relayTable
 
 	stat struct {
 		sessions    atomic.Int64
@@ -53,14 +69,30 @@ type Server struct {
 		queries     atomic.Int64
 		ranges      atomic.Int64
 		protoErrors atomic.Int64
+		// Relay counters: requests received, shares delivered to
+		// requesters, oversized shares refused, replies with unknown
+		// (forged, duplicate, or post-timeout) probe IDs, relays that rode
+		// the timeout, and the peers-in-range histogram (see
+		// peersInRangeBucket for the bucket boundaries).
+		relayRequests atomic.Int64
+		relayShares   atomic.Int64
+		relayRejected atomic.Int64
+		relayUnknown  atomic.Int64
+		relayTimeouts atomic.Int64
+		peersInRange  [peersInRangeBuckets]atomic.Int64
 	}
 }
 
+// peersInRangeBuckets is the peers-in-range histogram size: 0, 1, 2-3,
+// 4-7, 8-15, 16-31, 32+.
+const peersInRangeBuckets = 7
+
 // session is one registered client. The server keeps its last reported
-// position — the state continuous queries will hang off — and its traffic
-// counts.
+// position — the state the peer relay's range sweep reads — its live
+// connection for relay probes, and its traffic counts.
 type session struct {
 	mu      sync.Mutex
+	conn    *WSConn
 	pos     geom.Point
 	hasPos  bool
 	queries int64
@@ -83,16 +115,31 @@ func NewServer(mod *sim.ServerModule, opts Options) *Server {
 	if opts.MaxAnswer <= 0 {
 		opts.MaxAnswer = 4096
 	}
+	if opts.MaxTxRange <= 0 {
+		opts.MaxTxRange = defaultMaxTxRange
+	}
+	if opts.RelayTimeout <= 0 {
+		opts.RelayTimeout = defaultRelayTimeout
+	}
+	switch {
+	case opts.FlushThreshold == 0:
+		opts.FlushThreshold = 2048
+	case opts.FlushThreshold < 0:
+		opts.FlushThreshold = 0
+	}
 	bounds := opts.Bounds
 	if bounds.Max.X <= bounds.Min.X || bounds.Max.Y <= bounds.Min.Y {
 		bounds = poiBounds(mod.POIs())
 	}
 	s := &Server{
-		querier:   sim.NewSnapshotQuerier(mod),
-		maxK:      opts.MaxK,
-		maxAnswer: opts.MaxAnswer,
-		bounds:    bounds,
-		sessions:  make(map[string]*session),
+		querier:      sim.NewSnapshotQuerier(mod),
+		maxK:         opts.MaxK,
+		maxAnswer:    opts.MaxAnswer,
+		maxTxRange:   opts.MaxTxRange,
+		relayTimeout: opts.RelayTimeout,
+		flushBytes:   opts.FlushThreshold,
+		bounds:       bounds,
+		sessions:     make(map[string]*session),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/session", s.handleNewSession)
@@ -171,18 +218,28 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		return // Upgrade wrote the HTTP error
 	}
+	ws.SetFlushThreshold(s.flushBytes)
+	// Attach the connection to the session so the peer relay can probe it;
+	// a reconnect simply supersedes the previous attachment.
+	sess.mu.Lock()
+	sess.conn = ws
+	sess.mu.Unlock()
 	s.stat.activeConns.Add(1)
 	defer s.stat.activeConns.Add(-1)
+	defer s.dropConn(sess, ws)
 	//simvet:discard — teardown of a finished connection; serveConn already accounted the session-ending error
 	defer ws.Close()
 	s.serveConn(sess, ws)
 }
 
 // serveConn runs one connection's read-dispatch-answer loop. The scratch
-// slice keeps steady-state kNN serving allocation-free below the wire
-// encoder.
+// slice and the pooled encode buffer keep steady-state kNN serving
+// allocation-free: answers are encoded append-style into encBuf and handed
+// to the batched writer, which copies into the connection's pending buffer
+// before returning.
 func (s *Server) serveConn(sess *session, ws *WSConn) {
 	var scratch []core.POI
+	var encBuf []byte
 	for {
 		data, err := ws.ReadMessage()
 		if err != nil {
@@ -228,7 +285,8 @@ func (s *Server) serveConn(sess *session, ws *WSConn) {
 				Pages: pages,
 				Cache: core.PeerCache{QueryLoc: q.Loc, Neighbors: scratch},
 			}
-			if ws.WriteBinary(wire.EncodeAnswer(ans)) != nil {
+			encBuf = wire.AppendAnswer(encBuf[:0], ans)
+			if ws.WriteBinaryBatched(encBuf) != nil {
 				return
 			}
 		case wire.TypeRange:
@@ -250,12 +308,20 @@ func (s *Server) serveConn(sess *session, ws *WSConn) {
 				ReqID: rq.ReqID,
 				Cache: core.PeerCache{QueryLoc: rq.Loc, Neighbors: hits},
 			}
-			if ws.WriteBinary(wire.EncodeAnswer(ans)) != nil {
+			encBuf = wire.AppendAnswer(encBuf[:0], ans)
+			if ws.WriteBinaryBatched(encBuf) != nil {
 				return
 			}
+		case wire.TypePeerRequest:
+			if s.startRelay(sess, ws, msg.PeerReq) != nil {
+				return
+			}
+		case wire.TypeShareReply:
+			s.handleShareReply(sess, msg.Share)
 		default:
-			// Peer-channel messages (CacheShare, CacheRequest) and answers
-			// have no meaning client-to-server.
+			// Raw air-interface messages (CacheShare, CacheRequest) and
+			// server-to-client messages have no meaning client-to-server;
+			// the relayed forms (PeerRequest, ShareReply) are handled above.
 			s.stat.protoErrors.Add(1)
 			if ws.WriteBinary(wire.EncodeError(wire.ErrorMsg{Code: wire.ErrCodeUnsupported})) != nil {
 				return
@@ -281,6 +347,15 @@ type Stats struct {
 	// — the PAR metric, aggregated across every connection.
 	ServerQueries int64 `json:"server_queries"`
 	PageAccesses  int64 `json:"page_accesses"`
+	// Relay counters: see the relay documentation in relay.go. The
+	// histogram buckets are peers-in-range counts 0, 1, 2-3, 4-7, 8-15,
+	// 16-31, 32+.
+	RelayRequests       int64   `json:"relay_requests"`
+	RelaySharesFwd      int64   `json:"relay_shares_forwarded"`
+	RelayRejected       int64   `json:"relay_rejected"`
+	RelayUnknownReplies int64   `json:"relay_unknown_replies"`
+	RelayTimeouts       int64   `json:"relay_timeouts"`
+	PeersInRangeHist    []int64 `json:"peers_in_range_hist"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -288,20 +363,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	nSessions := len(s.sessions)
 	s.mu.Unlock()
 	mod := s.querier.Module()
+	hist := make([]int64, peersInRangeBuckets)
+	for i := range hist {
+		hist[i] = s.stat.peersInRange[i].Load()
+	}
 	writeJSON(w, Stats{
-		POIs:          len(mod.POIs()),
-		BoundsMinX:    s.bounds.Min.X,
-		BoundsMinY:    s.bounds.Min.Y,
-		BoundsMaxX:    s.bounds.Max.X,
-		BoundsMaxY:    s.bounds.Max.Y,
-		Sessions:      nSessions,
-		ActiveConns:   s.stat.activeConns.Load(),
-		Positions:     s.stat.positions.Load(),
-		Queries:       s.stat.queries.Load(),
-		RangeQueries:  s.stat.ranges.Load(),
-		ProtoErrors:   s.stat.protoErrors.Load(),
-		ServerQueries: mod.Queries(),
-		PageAccesses:  mod.PageAccesses(),
+		POIs:                len(mod.POIs()),
+		BoundsMinX:          s.bounds.Min.X,
+		BoundsMinY:          s.bounds.Min.Y,
+		BoundsMaxX:          s.bounds.Max.X,
+		BoundsMaxY:          s.bounds.Max.Y,
+		Sessions:            nSessions,
+		ActiveConns:         s.stat.activeConns.Load(),
+		Positions:           s.stat.positions.Load(),
+		Queries:             s.stat.queries.Load(),
+		RangeQueries:        s.stat.ranges.Load(),
+		ProtoErrors:         s.stat.protoErrors.Load(),
+		ServerQueries:       mod.Queries(),
+		PageAccesses:        mod.PageAccesses(),
+		RelayRequests:       s.stat.relayRequests.Load(),
+		RelaySharesFwd:      s.stat.relayShares.Load(),
+		RelayRejected:       s.stat.relayRejected.Load(),
+		RelayUnknownReplies: s.stat.relayUnknown.Load(),
+		RelayTimeouts:       s.stat.relayTimeouts.Load(),
+		PeersInRangeHist:    hist,
 	})
 }
 

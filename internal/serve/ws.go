@@ -77,6 +77,14 @@ func acceptKey(key string) string {
 // WSConn is one WebSocket connection carrying binary messages. Reads must
 // come from a single goroutine; writes are internally serialized, so the
 // reader's automatic pong replies never interleave with application frames.
+//
+// Writes can be coalesced: WriteBinaryBatched appends the frame to a
+// pending buffer and only hits the transport once the buffer passes the
+// flush threshold (or an immediate write / explicit Flush drains it). A
+// fan-out workload — one answer or relayed share per peer — then costs one
+// syscall per few frames instead of one per frame. ReadMessage flushes the
+// pending buffer before it can block on an idle transport, so a batched
+// reply never waits on traffic that will not come.
 type WSConn struct {
 	conn net.Conn
 	br   *bufio.Reader
@@ -86,8 +94,14 @@ type WSConn struct {
 	client bool
 	maxMsg int
 
-	wmu  sync.Mutex
-	wbuf []byte
+	wmu sync.Mutex
+	// pending accumulates encoded frames between flushes. Immediate writes
+	// append and flush in one step, so frame order on the transport is
+	// always the order the write calls acquired wmu.
+	pending []byte
+	// flushThreshold is the batched-write coalescing limit in bytes; 0
+	// means every write flushes immediately (the default).
+	flushThreshold int
 	// maskRNG generates frame mask keys on the client side. Masking exists
 	// to defeat proxy cache poisoning, not cryptanalysis, so a fast stream
 	// seeded once from crypto/rand is appropriate.
@@ -111,6 +125,16 @@ func newWSConn(conn net.Conn, br *bufio.Reader, client bool) *WSConn {
 // SetReadDeadline bounds how long ReadMessage may block.
 func (c *WSConn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
 
+// SetFlushThreshold arms write batching: WriteBinaryBatched coalesces
+// frames until the pending buffer reaches n bytes. Call before the
+// connection is shared between goroutines; n <= 0 disables batching.
+func (c *WSConn) SetFlushThreshold(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.flushThreshold = n
+}
+
 // ReadMessage returns the next complete binary message, transparently
 // answering pings and skipping pongs. It returns ErrConnClosed after an
 // orderly close from the peer.
@@ -118,6 +142,14 @@ func (c *WSConn) ReadMessage() ([]byte, error) {
 	var msg []byte
 	assembling := false
 	for {
+		// About to (possibly) block on the transport: anything batched for
+		// this connection must go out first, or a coalesced reply would wait
+		// on the peer's next request.
+		if c.flushThreshold > 0 && c.br.Buffered() == 0 {
+			if err := c.Flush(); err != nil {
+				return nil, err
+			}
+		}
 		fin, op, payload, err := c.readFrame()
 		if err != nil {
 			return nil, err
@@ -164,8 +196,33 @@ func (c *WSConn) ReadMessage() ([]byte, error) {
 	}
 }
 
-// WriteBinary sends one binary message as a single frame.
+// WriteBinary sends one binary message as a single frame, flushing any
+// batched frames ahead of it so transport order matches write order.
 func (c *WSConn) WriteBinary(p []byte) error { return c.writeFrame(opBinary, p) }
+
+// WriteBinaryBatched queues one binary message, deferring the transport
+// write until the pending buffer reaches the flush threshold (or the next
+// immediate write / Flush / pre-block flush in ReadMessage). The payload is
+// copied into the pending buffer before return, so the caller may reuse p.
+// With no threshold armed it is identical to WriteBinary.
+func (c *WSConn) WriteBinaryBatched(p []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.pending = c.appendFrame(c.pending, opBinary, p)
+	if c.flushThreshold > 0 && len(c.pending) < c.flushThreshold {
+		return nil
+	}
+	//simvet:lockio — wmu serializes whole frames onto the transport; shutdown bounds a wedged write with a deadline before contending for it
+	return c.flushLocked()
+}
+
+// Flush writes any batched frames to the transport.
+func (c *WSConn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	//simvet:lockio — wmu serializes whole frames onto the transport; shutdown bounds a wedged write with a deadline before contending for it
+	return c.flushLocked()
+}
 
 // Close performs the closing handshake (best effort) and closes the
 // transport. Safe to call multiple times and concurrently with a reader.
@@ -260,11 +317,20 @@ func (c *WSConn) readFrame() (fin bool, op byte, payload []byte, err error) {
 	return fin, op, payload, nil
 }
 
-// writeFrame emits one complete frame in a single transport write.
+// writeFrame emits one complete frame, flushing it (and any batched frames
+// queued before it) in a single transport write.
 func (c *WSConn) writeFrame(op byte, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	buf := append(c.wbuf[:0], 0x80|op)
+	c.pending = c.appendFrame(c.pending, op, payload)
+	//simvet:lockio — wmu serializes whole frames onto the transport; shutdown bounds a wedged write with a deadline before contending for it
+	return c.flushLocked()
+}
+
+// appendFrame encodes one frame (header, optional mask, payload) onto dst.
+// Callers hold wmu: the mask RNG advances per frame.
+func (c *WSConn) appendFrame(dst []byte, op byte, payload []byte) []byte {
+	buf := append(dst, 0x80|op)
 	maskBit := byte(0)
 	if c.client {
 		maskBit = 0x80
@@ -293,9 +359,19 @@ func (c *WSConn) writeFrame(op byte, payload []byte) error {
 	} else {
 		buf = append(buf, payload...)
 	}
-	c.wbuf = buf
+	return buf
+}
+
+// flushLocked writes the pending buffer in one transport write. Callers
+// hold wmu. The buffer is recycled even on error: a failed transport write
+// kills the connection, so the unsent frames are moot.
+func (c *WSConn) flushLocked() error {
+	if len(c.pending) == 0 {
+		return nil
+	}
 	//simvet:lockio — wmu exists precisely to serialize whole frames onto the transport; shutdown bounds a wedged write with a deadline before contending for it
-	_, err := c.conn.Write(buf)
+	_, err := c.conn.Write(c.pending)
+	c.pending = c.pending[:0]
 	return err
 }
 

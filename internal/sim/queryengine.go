@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/cache"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/nn"
@@ -56,29 +57,85 @@ type queryResult struct {
 	answer []core.Candidate
 }
 
-// resolverScratch is one worker's private buffers, reused across the
-// queries of its shard. Together with the engine-level snapshot buffers it
-// makes the steady-state resolve path — peer-solved and server-solved alike
-// — allocation-free (TestResolveAllocsPeerSolved and
-// TestResolveAllocsServerSolved pin both at zero).
+// resolverScratch is one worker's private resolve state: the shared
+// transport-agnostic client core (internal/client owns the Algorithm-1
+// orchestration and all its buffers) plus the simulator's two transport
+// adapters, embedded by value so taking their address costs nothing.
+// Everything is reused across the queries of a worker's shard; together
+// with the engine-level snapshot buffers the steady-state resolve path —
+// peer-solved and server-solved alike — is allocation-free
+// (TestResolveAllocsPeerSolved and TestResolveAllocsServerSolved pin both
+// at zero).
 type resolverScratch struct {
-	peers  []core.PeerCache
-	heap   *core.ResultHeap
-	verify core.VerifierScratch
-	sorter core.PeerProximitySorter
-	// poiArena backs the POI slices handed to cache.Stage. It is reset at
-	// batch start, not per query: staged slices must stay intact until the
-	// commit phase reads them (cache.Store copies on Apply, so nothing
-	// references arena memory across batches).
-	poiArena []core.POI
-	// full merges certified heap entries with server-fetched POIs on the
-	// fallback path.
-	full []core.Candidate
-	// it and fetched are the server path's traversal scratch: the EINN
-	// iterator's priority queue and the fetched-POI destination both
-	// survive across queries.
-	it      nn.TreeIterator
-	fetched []core.POI
+	r       *client.Resolver
+	peerSrc simPeerSource
+	srv     simServerSource
+}
+
+// simPeerSource adapts the simulator's in-memory peer sweep to
+// client.PeerSource. host and idx are set per query before Resolve runs:
+// the querying host is excluded from its own broadcast, and idx keys the
+// plan's cell snapshot under batched gather.
+type simPeerSource struct {
+	e    *queryEngine
+	host int32
+	idx  int
+}
+
+// Gather appends every in-range peer's shareable cache entry to dst and
+// accounts the P2P exchange: one broadcast request plus one cache-share
+// response per peer holding data, costed at internal/wire codec sizes.
+// Under batched gather the sweep reads the query cell's shared snapshot;
+// both modes visit the identical peer sequence (see cellSnap).
+func (s *simPeerSource) Gather(q geom.Point, dst []core.PeerCache) ([]core.PeerCache, int64, int64) {
+	e := s.e
+	w := e.w
+	msgs, bytes := int64(1), int64(wire.CacheRequestSize)
+	tx2 := w.cfg.TxRange * w.cfg.TxRange
+	if w.cfg.PerQueryGather {
+		w.grid.forNeighbors(q, w.cfg.TxRange, func(i int32) {
+			if i == s.host {
+				return
+			}
+			if q.Dist2(w.pos[i]) > tx2 {
+				return
+			}
+			if ent, ok := w.caches[i].Entry(); ok {
+				dst = append(dst, ent)
+				msgs++
+				bytes += int64(wire.CacheShareSize(len(ent.Neighbors)))
+			}
+		})
+	} else {
+		snap := &e.snaps[e.snapOf[s.idx]]
+		for j := range snap.peers {
+			sp := &snap.peers[j]
+			if sp.host == s.host {
+				continue
+			}
+			if q.Dist2(w.pos[sp.host]) > tx2 {
+				continue
+			}
+			dst = append(dst, sp.entry)
+			msgs++
+			bytes += sp.share
+		}
+	}
+	return dst, msgs, bytes
+}
+
+// simServerSource adapts the in-process ServerModule to client.Server. The
+// EINN iterator's priority queue lives here so the traversal runs through
+// pooled scratch (no allocations); the in-process module cannot fail, so
+// the error is always nil.
+type simServerSource struct {
+	mod *ServerModule
+	it  nn.TreeIterator
+}
+
+func (s *simServerSource) KNNInto(q geom.Point, k int, b nn.Bounds, dst []core.POI) ([]core.POI, int64, error) {
+	out, pages := s.mod.KNNInto(q, k, b, &s.it, dst)
+	return out, pages, nil
 }
 
 // snapPeer is one shareable peer cache inside a cell-neighborhood snapshot:
@@ -146,7 +203,8 @@ func newQueryEngine(w *World, workers int) *queryEngine {
 	}
 	e := &queryEngine{w: w, workers: workers, scratch: make([]*resolverScratch, workers)}
 	for i := range e.scratch {
-		e.scratch[i] = &resolverScratch{heap: core.NewResultHeap(1)}
+		e.scratch[i] = &resolverScratch{r: client.NewResolver()}
+		e.scratch[i].peerSrc.e = e
 	}
 	return e
 }
@@ -178,7 +236,7 @@ func (e *queryEngine) runBatch() {
 	}
 	e.results = e.results[:n]
 	for _, sc := range e.scratch {
-		sc.poiArena = sc.poiArena[:0]
+		sc.r.ResetArena()
 	}
 	if !e.w.cfg.PerQueryGather {
 		e.gatherCells()
@@ -332,163 +390,38 @@ func (e *queryEngine) fillSnap(s *cellSnap) {
 	})
 }
 
-// resolve runs one complete SENN query (Algorithm 1) against the step-start
-// snapshot: peer gather, kNN_single/kNN_multiple verification, then the
-// server fallback with the §3.3 pruning bounds. It only reads world state —
-// every effect is returned in the queryResult for the commit phase. idx is
-// the plan's batch position (it keys the cell snapshot under batched
-// gather). Both the peer-solved and the server-solved path perform no heap
-// allocations in steady state.
+// resolve runs one complete SENN query against the step-start snapshot by
+// handing the plan to the shared client core (internal/client owns
+// Algorithm 1: peer verification, the uncertain shortcut, the server
+// fallback with the §3.3 pruning bounds) wired to the simulator's two
+// transports. It only reads world state — every effect is returned in the
+// queryResult for the commit phase. idx is the plan's batch position (it
+// keys the cell snapshot under batched gather). Both the peer-solved and
+// the server-solved path perform no heap allocations in steady state.
 func (e *queryEngine) resolve(p *queryPlan, idx int, sc *resolverScratch) queryResult {
 	w := e.w
-	own := &w.caches[p.host]
-	k := p.k
 	q := w.pos[p.host]
-	res := queryResult{q: q}
-
-	// Gather shareable cached results: the host's own cache first (the
-	// local-cache check of §4.1), then every peer within transmission
-	// range. The P2P exchange is one broadcast request plus one cache-share
-	// response per peer holding data; its wire cost (internal/wire codec
-	// sizes) is the communication overhead metric. Under batched gather the
-	// peer sweep reads the query cell's shared snapshot; both modes visit
-	// the identical peer sequence (see cellSnap).
-	peers := sc.peers[:0]
-	if ent, ok := own.Entry(); ok {
-		peers = append(peers, ent)
+	sc.peerSrc.host, sc.peerSrc.idx = p.host, idx
+	sc.srv.mod = w.server
+	out := sc.r.Resolve(client.Request{
+		Q:               q,
+		K:               p.k,
+		Cache:           &w.caches[p.host],
+		AcceptUncertain: w.cfg.AcceptUncertain,
+		// The audit callback retains the answer past this worker's next
+		// query, so it needs the private copy NeedAnswer provides
+		// (test-only path; that allocation is fine).
+		NeedAnswer: w.audit != nil,
+	}, &sc.peerSrc, &sc.srv)
+	return queryResult{
+		q:      q,
+		src:    out.Src,
+		msgs:   out.Msgs,
+		bytes:  out.Bytes,
+		pages:  out.Pages,
+		write:  out.Write,
+		answer: out.Answer,
 	}
-	res.msgs, res.bytes = 1, int64(wire.CacheRequestSize)
-	tx2 := w.cfg.TxRange * w.cfg.TxRange
-	if w.cfg.PerQueryGather {
-		w.grid.forNeighbors(q, w.cfg.TxRange, func(i int32) {
-			if i == p.host {
-				return
-			}
-			if q.Dist2(w.pos[i]) > tx2 {
-				return
-			}
-			if ent, ok := w.caches[i].Entry(); ok {
-				peers = append(peers, ent)
-				res.msgs++
-				res.bytes += int64(wire.CacheShareSize(len(ent.Neighbors)))
-			}
-		})
-	} else {
-		snap := &e.snaps[e.snapOf[idx]]
-		for j := range snap.peers {
-			sp := &snap.peers[j]
-			if sp.host == p.host {
-				continue
-			}
-			if q.Dist2(w.pos[sp.host]) > tx2 {
-				continue
-			}
-			peers = append(peers, sp.entry)
-			res.msgs++
-			res.bytes += sp.share
-		}
-	}
-	sc.peers = peers[:0]
-
-	// Algorithm 1 over the gathered peer data. The heap is sized at
-	// max(k, C_Size) rather than k: the query itself needs k certain
-	// objects, but cache policy 1 stores *all* the certain nearest
-	// neighbors of the most recent query — the full certified set is still
-	// an exact distance prefix (every POI closer than a certified one is
-	// itself certified), so it is a valid PeerCache and keeps the shared
-	// caches from degrading to the last query's k.
-	heapK := k
-	if c := own.Capacity(); c > heapK {
-		heapK = c
-	}
-	heap := sc.heap
-	heap.Reset(heapK)
-	answered := func() bool { return heap.NumCertain() >= k }
-
-	// Heuristic 3.3 ordering, in place: the resolver owns the peers slice,
-	// so the copying SortPeersByProximity would only add garbage.
-	sc.sorter.Q = q
-	sc.sorter.Peers = peers
-	sc.sorter.Sort()
-	solvedSingle := false
-	for _, pc := range peers {
-		core.VerifySinglePeer(q, pc, heap)
-		if answered() {
-			solvedSingle = true
-			break
-		}
-	}
-	if !solvedSingle && len(peers) > 0 {
-		sc.verify.VerifyMultiPeer(q, peers, heap)
-	}
-	if answered() {
-		res.src = core.SolvedByMultiPeer
-		if solvedSingle {
-			res.src = core.SolvedBySinglePeer
-		}
-		// CertainView aliases the heap scratch; the arena copy made for the
-		// staged write is what outlives this call.
-		certain := heap.CertainView()
-		res.write = sc.stageResult(q, certain)
-		if w.audit != nil {
-			// The audit callback retains the answer past this worker's next
-			// query, so it gets a private copy (test-only path; allocation
-			// is fine here).
-			res.answer = append([]core.Candidate(nil), certain[:k]...)
-		}
-		return res
-	}
-	if w.cfg.AcceptUncertain && heap.Len() >= k {
-		res.src = core.SolvedUncertain
-		// Uncertain results are not exact prefixes: only the certain prefix
-		// may enter the cache.
-		res.write = sc.stageResult(q, heap.CertainView())
-		if w.audit != nil {
-			entries := heap.Entries()
-			if len(entries) > k {
-				entries = entries[:k]
-			}
-			res.answer = entries
-		}
-		return res
-	}
-
-	// Server fallback with the §3.3 pruning bounds. Per cache policy 2 the
-	// host tops the request up to its cache capacity. The upper bound — the
-	// k-th smallest distance in H — stays in force: it guarantees the top-k
-	// answer is complete, while letting the EINN search truncate the
-	// opportunistic cache refill early; the refill then holds every POI out
-	// to the bound, which is still an exact prefix and therefore a valid
-	// PeerCache. The traversal runs through the worker's pooled iterator
-	// and fetched-POI scratch (no allocations).
-	bounds := heap.Bounds()
-	bounds.HasUpper = false
-	if ub, ok := heap.UpperBoundFor(k); ok {
-		bounds.Upper = ub
-		bounds.HasUpper = true
-	}
-	certain := heap.CertainView()
-	fetchCount := heapK - len(certain)
-	fetched, pages := w.server.KNNInto(q, fetchCount, bounds, &sc.it, sc.fetched)
-	sc.fetched = fetched
-	res.src = core.SolvedByServer
-	res.pages = pages
-
-	full := sc.full[:0]
-	full = append(full, certain...)
-	for _, poi := range fetched {
-		full = append(full, core.Candidate{POI: poi, Dist: q.Dist(poi.Loc), Certain: true})
-	}
-	sc.full = full
-	res.write = sc.stageResult(q, full)
-	if w.audit != nil {
-		nk := k
-		if nk > len(full) {
-			nk = len(full)
-		}
-		res.answer = append([]core.Candidate(nil), full[:nk]...)
-	}
-	return res
 }
 
 // commit applies one resolved query's effects: the time series observes
@@ -560,25 +493,4 @@ func peerCacheEqual(a, b core.PeerCache) bool {
 		}
 	}
 	return true
-}
-
-// stageResult prepares cache policy 1 as a deferred write: keep the query
-// location and the certain NNs of the most recent query. An empty certain
-// set stages nothing — the previous entry is kept rather than caching
-// nothing.
-//
-// The POI copy lives in the worker's arena, which runBatch resets at batch
-// start: the staged slice only needs to survive until the commit phase,
-// where cache.Store copies it into the host cache. A mid-batch arena growth
-// leaves earlier slices pointing at the retired backing array, which stays
-// valid (and unreused) until the next batch.
-func (sc *resolverScratch) stageResult(q geom.Point, certain []core.Candidate) cache.StagedWrite {
-	if len(certain) == 0 {
-		return cache.StagedWrite{}
-	}
-	base := len(sc.poiArena)
-	for _, c := range certain {
-		sc.poiArena = append(sc.poiArena, c.POI)
-	}
-	return cache.Stage(q, sc.poiArena[base:len(sc.poiArena):len(sc.poiArena)])
 }

@@ -49,7 +49,7 @@ func peerSolvedPlans(tb testing.TB, w *World, want int) []queryPlan {
 			p := queryPlan{host: int32(hi), k: k}
 			e.plans = append(e.plans[:0], p)
 			e.gatherCells()
-			sc.poiArena = sc.poiArena[:0]
+			sc.r.ResetArena()
 			res := e.resolve(&p, 0, sc)
 			if res.src == core.SolvedBySinglePeer || res.src == core.SolvedByMultiPeer {
 				plans = append(plans, p)
@@ -75,7 +75,7 @@ func TestResolveAllocsPeerSolved(t *testing.T) {
 	e.plans = append(e.plans[:0], plans...)
 	e.gatherCells()
 	resolveAll := func() {
-		sc.poiArena = sc.poiArena[:0] // the batch-start reset runBatch performs
+		sc.r.ResetArena() // the batch-start reset runBatch performs
 		for i := range plans {
 			e.resolve(&plans[i], i, sc)
 		}
@@ -151,7 +151,7 @@ func BenchmarkResolve(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sc.poiArena = sc.poiArena[:0]
+				sc.r.ResetArena()
 				for j := range plans {
 					e.resolve(&plans[j], j, sc)
 				}

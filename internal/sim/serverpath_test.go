@@ -20,7 +20,7 @@ func serverSolvedPlans(tb testing.TB, w *World, want int) []queryPlan {
 		p := queryPlan{host: int32(hi), k: w.cfg.KMax}
 		e.plans = append(e.plans[:0], p)
 		e.gatherCells()
-		sc.poiArena = sc.poiArena[:0]
+		sc.r.ResetArena()
 		if res := e.resolve(&p, 0, sc); res.src == core.SolvedByServer {
 			plans = append(plans, p)
 		}
@@ -91,7 +91,7 @@ func TestResolveAllocsServerSolved(t *testing.T) {
 	e.plans = append(e.plans[:0], plans...)
 	e.gatherCells()
 	resolveAll := func() {
-		sc.poiArena = sc.poiArena[:0] // the batch-start reset runBatch performs
+		sc.r.ResetArena() // the batch-start reset runBatch performs
 		for i := range plans {
 			e.resolve(&plans[i], i, sc)
 		}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/geom"
 )
 
@@ -28,6 +29,12 @@ func FuzzDecode(f *testing.F) {
 	f.Add(EncodeAnswer(sampleAnswer(4, 0, rng)))
 	f.Add(EncodeAnswer(sampleAnswer(5, 7, rng)))
 	f.Add(EncodeError(ErrorMsg{ReqID: 6, Code: ErrCodeBadRequest}))
+	f.Add(EncodePeerRequest(PeerRequest{ReqID: 7, Loc: geom.Pt(5, 6), Radius: 400}))
+	f.Add(EncodePeerProbe(8))
+	f.Add(EncodeShareReply(9, false, samplePC(0, rng)))
+	f.Add(EncodeShareReply(10, true, samplePC(4, rng)))
+	f.Add(EncodePeerShares(PeerShares{ReqID: 11, PeersInRange: 2,
+		Shares: []core.PeerCache{samplePC(2, rng), samplePC(3, rng)}}))
 	f.Add([]byte("SENN"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -64,6 +71,14 @@ func FuzzDecode(f *testing.F) {
 			re = EncodeAnswer(msg.Answer)
 		case TypeError:
 			re = EncodeError(msg.Err)
+		case TypePeerRequest:
+			re = EncodePeerRequest(msg.PeerReq)
+		case TypePeerProbe:
+			re = EncodePeerProbe(msg.ProbeID)
+		case TypeShareReply:
+			re = EncodeShareReply(msg.Share.ProbeID, msg.Share.Has, msg.Share.Cache)
+		case TypePeerShares:
+			re = EncodePeerShares(msg.Shares)
 		default:
 			t.Fatalf("decoder accepted unknown type %d", msg.Type)
 		}

@@ -89,6 +89,51 @@ const (
 	//	6       4     request id (uint32; 0 when no request is attributable)
 	//	10      4     error code (uint32)
 	TypeError byte = 7
+
+	// Daemon-relayed peer channel (internal/serve). On real connections
+	// mobile hosts have no ad-hoc radio, so the P2P exchange of §4.1 runs
+	// through the daemon: the requester asks the server to relay a cache
+	// request to every session within transmission range of its position,
+	// probed peers answer with their cached result, and the server forwards
+	// the collected shares back in one aggregated reply.
+
+	// TypePeerRequest asks the server to relay a cache request to sessions
+	// in range (client → server):
+	//
+	//	6       4     request id (uint32)
+	//	10      8+8   requester location x, y (float64)
+	//	26      8     requested transmission range (float64, finite, >= 0;
+	//	              the server clamps it to its configured maximum)
+	TypePeerRequest byte = 8
+	// TypePeerProbe is the relayed cache request (server → probed peer). A
+	// probed peer must answer with a ShareReply echoing the probe id —
+	// including when its cache is empty, so the relay can complete without
+	// waiting out its deadline:
+	//
+	//	6       4     probe id (uint32)
+	TypePeerProbe byte = 9
+	// TypeShareReply is a probed peer's cache share (peer → server):
+	//
+	//	6       4     probe id (uint32)
+	//	10      1     has-cache flag (0 or 1)
+	//	11      8+8   cached query location x, y (zero bits when empty)
+	//	27      4     neighbor count n (uint32; 0 when empty, >= 1 when not)
+	//	31      n*24  neighbors: id (int64), x, y (float64), ascending dist
+	//
+	// Unlike the ad-hoc CacheShare, a ShareReply's neighbor order is part of
+	// the protocol (ascending distance from the cached query location, the
+	// order every cache entry already has); the decoder validates instead of
+	// re-sorting, keeping the encoding canonical.
+	TypeShareReply byte = 10
+	// TypePeerShares is the aggregated relay result (server → requester):
+	//
+	//	6       4     request id (uint32)
+	//	10      4     peers in range (uint32: sessions probed)
+	//	14      4     share count m (uint32)
+	//	18      ...   m shares, each: query location x, y (float64),
+	//	              neighbor count n (uint32, >= 1), then n*24 neighbors
+	//	              (id, x, y) in ascending distance order
+	TypePeerShares byte = 11
 )
 
 // Error codes carried by TypeError messages.
@@ -106,6 +151,13 @@ const (
 // well-formed request can demand (AnswerSize(MaxQueryK) ≈ 96 KiB, well under
 // the transport's message cap).
 const MaxQueryK = 4096
+
+// MaxShareNeighbors caps the neighbors one relayed share (ShareReply, or a
+// share inside PeerShares) may carry. A cache entry is at most the peer's
+// cache capacity deep, which is always far below this; anything larger is a
+// forged or corrupt share, rejected at decode before it can bloat a relay
+// fan-out.
+const MaxShareNeighbors = MaxQueryK
 
 const (
 	version    byte = 1
@@ -137,25 +189,31 @@ func CacheShareSize(n int) int { return headerSize + pointSize + 4 + n*poiSize }
 
 // EncodeCacheRequest emits a cache request message.
 func EncodeCacheRequest() []byte {
-	buf := make([]byte, headerSize)
-	writeHeader(buf, TypeCacheRequest)
-	return buf
+	return appendHeader(nil, TypeCacheRequest)
+}
+
+// AppendCacheShare appends an encoded cache-share message for pc to dst and
+// returns the extended slice. The append-style encoders exist so hot serving
+// paths can reuse one encode buffer per connection instead of allocating a
+// fresh message each time.
+func AppendCacheShare(dst []byte, pc core.PeerCache) []byte {
+	dst = appendHeader(dst, TypeCacheShare)
+	dst = appendPoint(dst, pc.QueryLoc)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pc.Neighbors)))
+	return appendNeighbors(dst, pc.Neighbors)
 }
 
 // EncodeCacheShare emits a cache-share message for pc.
 func EncodeCacheShare(pc core.PeerCache) []byte {
-	buf := make([]byte, CacheShareSize(len(pc.Neighbors)))
-	writeHeader(buf, TypeCacheShare)
-	off := headerSize
-	off = putPoint(buf, off, pc.QueryLoc)
-	binary.LittleEndian.PutUint32(buf[off:], uint32(len(pc.Neighbors)))
-	off += 4
-	for _, n := range pc.Neighbors {
-		binary.LittleEndian.PutUint64(buf[off:], uint64(n.ID))
-		off += 8
-		off = putPoint(buf, off, n.Loc)
+	return AppendCacheShare(make([]byte, 0, CacheShareSize(len(pc.Neighbors))), pc)
+}
+
+func appendNeighbors(dst []byte, neighbors []core.POI) []byte {
+	for _, n := range neighbors {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(n.ID))
+		dst = appendPoint(dst, n.Loc)
 	}
-	return buf
+	return dst
 }
 
 // Query is a decoded TypeQuery payload: a kNN request under the §3.3
@@ -199,23 +257,62 @@ type ErrorMsg struct {
 	Code  uint32
 }
 
+// PeerRequest is a decoded TypePeerRequest payload: a request to relay a
+// cache request to every session within Radius of Loc.
+type PeerRequest struct {
+	ReqID  uint32
+	Loc    geom.Point
+	Radius float64
+}
+
+// ShareReply is a decoded TypeShareReply payload: a probed peer's cache (or
+// the explicit statement that it has none).
+type ShareReply struct {
+	ProbeID uint32
+	Has     bool
+	Cache   core.PeerCache // zero value when !Has
+}
+
+// PeerShares is a decoded TypePeerShares payload: the aggregated result of
+// one relay fan-out. PeersInRange counts the sessions probed; Shares holds
+// the non-empty caches that came back in time (at most one per peer, already
+// validated to be ascending-distance PeerCaches).
+type PeerShares struct {
+	ReqID        uint32
+	PeersInRange int
+	Shares       []core.PeerCache
+}
+
 // Encoded sizes of the fixed-layout client-server messages.
 const (
-	PositionSize = headerSize + pointSize
-	QuerySize    = headerSize + 4 + 4 + pointSize + 1 + 8 + 8
-	RangeSize    = headerSize + 4 + pointSize + 8
-	ErrorSize    = headerSize + 4 + 4
+	PositionSize    = headerSize + pointSize
+	QuerySize       = headerSize + 4 + 4 + pointSize + 1 + 8 + 8
+	RangeSize       = headerSize + 4 + pointSize + 8
+	ErrorSize       = headerSize + 4 + 4
+	PeerRequestSize = headerSize + 4 + pointSize + 8
+	PeerProbeSize   = headerSize + 4
 )
 
 // AnswerSize returns the encoded size of an answer carrying n neighbors.
 func AnswerSize(n int) int { return headerSize + 4 + 8 + pointSize + 4 + n*poiSize }
 
+// ShareReplySize returns the encoded size of a share reply carrying n
+// neighbors (n = 0 for the empty-cache reply).
+func ShareReplySize(n int) int { return headerSize + 4 + 1 + pointSize + 4 + n*poiSize }
+
+// PeerSharesSize returns the encoded size of an aggregated relay reply whose
+// shares carry the given neighbor counts.
+func PeerSharesSize(neighborCounts []int) int {
+	size := headerSize + 4 + 4 + 4
+	for _, n := range neighborCounts {
+		size += pointSize + 4 + n*poiSize
+	}
+	return size
+}
+
 // EncodePosition emits a position update.
 func EncodePosition(p geom.Point) []byte {
-	buf := make([]byte, PositionSize)
-	writeHeader(buf, TypePosition)
-	putPoint(buf, headerSize, p)
-	return buf
+	return appendPoint(appendHeader(make([]byte, 0, PositionSize), TypePosition), p)
 }
 
 // Bound flags of the Query layout.
@@ -224,15 +321,13 @@ const (
 	queryFlagUpper byte = 1 << 1
 )
 
-// EncodeQuery emits a kNN request. Unset bounds are encoded as zero bits so
-// the encoding is canonical.
-func EncodeQuery(q Query) []byte {
-	buf := make([]byte, QuerySize)
-	writeHeader(buf, TypeQuery)
-	off := headerSize
-	binary.LittleEndian.PutUint32(buf[off:], q.ReqID)
-	binary.LittleEndian.PutUint32(buf[off+4:], uint32(q.K))
-	off = putPoint(buf, off+8, q.Loc)
+// AppendQuery appends an encoded kNN request to dst. Unset bounds are
+// encoded as zero bits so the encoding is canonical.
+func AppendQuery(dst []byte, q Query) []byte {
+	buf := appendHeader(dst, TypeQuery)
+	buf = binary.LittleEndian.AppendUint32(buf, q.ReqID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.K))
+	buf = appendPoint(buf, q.Loc)
 	var flags byte
 	var lower, upper float64
 	if q.HasLower {
@@ -243,60 +338,123 @@ func EncodeQuery(q Query) []byte {
 		flags |= queryFlagUpper
 		upper = q.Upper
 	}
-	buf[off] = flags
-	binary.LittleEndian.PutUint64(buf[off+1:], math.Float64bits(lower))
-	binary.LittleEndian.PutUint64(buf[off+9:], math.Float64bits(upper))
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(lower))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(upper))
 	return buf
+}
+
+// EncodeQuery emits a kNN request (see AppendQuery).
+func EncodeQuery(q Query) []byte {
+	return AppendQuery(make([]byte, 0, QuerySize), q)
 }
 
 // EncodeRange emits a range request.
 func EncodeRange(r RangeQuery) []byte {
-	buf := make([]byte, RangeSize)
-	writeHeader(buf, TypeRange)
-	binary.LittleEndian.PutUint32(buf[headerSize:], r.ReqID)
-	off := putPoint(buf, headerSize+4, r.Loc)
-	binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(r.Radius))
-	return buf
+	buf := appendHeader(make([]byte, 0, RangeSize), TypeRange)
+	buf = binary.LittleEndian.AppendUint32(buf, r.ReqID)
+	buf = appendPoint(buf, r.Loc)
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Radius))
 }
 
-// EncodeAnswer emits a served answer. The cache's neighbors must already be
-// in ascending distance order from the cache's query location (which is how
-// every server path produces them); Decode rejects anything else.
+// AppendAnswer appends an encoded served answer to dst and returns the
+// extended slice. The cache's neighbors must already be in ascending
+// distance order from the cache's query location (which is how every server
+// path produces them); Decode rejects anything else.
+func AppendAnswer(dst []byte, a Answer) []byte {
+	dst = appendHeader(dst, TypeAnswer)
+	dst = binary.LittleEndian.AppendUint32(dst, a.ReqID)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(a.Pages))
+	dst = appendPoint(dst, a.Cache.QueryLoc)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(a.Cache.Neighbors)))
+	return appendNeighbors(dst, a.Cache.Neighbors)
+}
+
+// EncodeAnswer emits a served answer (see AppendAnswer).
 func EncodeAnswer(a Answer) []byte {
-	buf := make([]byte, AnswerSize(len(a.Cache.Neighbors)))
-	writeHeader(buf, TypeAnswer)
-	off := headerSize
-	binary.LittleEndian.PutUint32(buf[off:], a.ReqID)
-	binary.LittleEndian.PutUint64(buf[off+4:], uint64(a.Pages))
-	off = putPoint(buf, off+12, a.Cache.QueryLoc)
-	binary.LittleEndian.PutUint32(buf[off:], uint32(len(a.Cache.Neighbors)))
-	off += 4
-	for _, n := range a.Cache.Neighbors {
-		binary.LittleEndian.PutUint64(buf[off:], uint64(n.ID))
-		off = putPoint(buf, off+8, n.Loc)
-	}
-	return buf
+	return AppendAnswer(make([]byte, 0, AnswerSize(len(a.Cache.Neighbors))), a)
+}
+
+// AppendError appends an encoded per-request failure reply to dst.
+func AppendError(dst []byte, e ErrorMsg) []byte {
+	dst = appendHeader(dst, TypeError)
+	dst = binary.LittleEndian.AppendUint32(dst, e.ReqID)
+	return binary.LittleEndian.AppendUint32(dst, e.Code)
 }
 
 // EncodeError emits a per-request failure reply.
 func EncodeError(e ErrorMsg) []byte {
-	buf := make([]byte, ErrorSize)
-	writeHeader(buf, TypeError)
-	binary.LittleEndian.PutUint32(buf[headerSize:], e.ReqID)
-	binary.LittleEndian.PutUint32(buf[headerSize+4:], e.Code)
-	return buf
+	return AppendError(make([]byte, 0, ErrorSize), e)
 }
 
-func writeHeader(buf []byte, typ byte) {
-	copy(buf[:4], magic[:])
-	buf[4] = version
-	buf[5] = typ
+// AppendPeerRequest appends an encoded relay request to dst.
+func AppendPeerRequest(dst []byte, r PeerRequest) []byte {
+	buf := appendHeader(dst, TypePeerRequest)
+	buf = binary.LittleEndian.AppendUint32(buf, r.ReqID)
+	buf = appendPoint(buf, r.Loc)
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Radius))
 }
 
-func putPoint(buf []byte, off int, p geom.Point) int {
-	binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(p.X))
-	binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(p.Y))
-	return off + pointSize
+// EncodePeerRequest emits a relay request (see AppendPeerRequest).
+func EncodePeerRequest(r PeerRequest) []byte {
+	return AppendPeerRequest(make([]byte, 0, PeerRequestSize), r)
+}
+
+// EncodePeerProbe emits a relayed cache request carrying the probe id the
+// peer must echo in its ShareReply.
+func EncodePeerProbe(probeID uint32) []byte {
+	return binary.LittleEndian.AppendUint32(appendHeader(make([]byte, 0, PeerProbeSize), TypePeerProbe), probeID)
+}
+
+// AppendShareReply appends an encoded probe reply to dst. When has is false
+// the cache is ignored and the canonical empty reply is emitted.
+func AppendShareReply(dst []byte, probeID uint32, has bool, pc core.PeerCache) []byte {
+	dst = appendHeader(dst, TypeShareReply)
+	dst = binary.LittleEndian.AppendUint32(dst, probeID)
+	if !has || len(pc.Neighbors) == 0 {
+		dst = append(dst, 0)
+		dst = appendPoint(dst, geom.Point{})
+		return binary.LittleEndian.AppendUint32(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = appendPoint(dst, pc.QueryLoc)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pc.Neighbors)))
+	return appendNeighbors(dst, pc.Neighbors)
+}
+
+// EncodeShareReply emits a probe reply (see AppendShareReply).
+func EncodeShareReply(probeID uint32, has bool, pc core.PeerCache) []byte {
+	return AppendShareReply(make([]byte, 0, ShareReplySize(len(pc.Neighbors))), probeID, has, pc)
+}
+
+// AppendPeerShares appends an encoded aggregated relay reply to dst. Every
+// share must be a non-empty ascending-distance PeerCache (which is the only
+// kind the relay collects); Decode rejects anything else.
+func AppendPeerShares(dst []byte, ps PeerShares) []byte {
+	dst = appendHeader(dst, TypePeerShares)
+	dst = binary.LittleEndian.AppendUint32(dst, ps.ReqID)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ps.PeersInRange))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ps.Shares)))
+	for _, pc := range ps.Shares {
+		dst = appendPoint(dst, pc.QueryLoc)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pc.Neighbors)))
+		dst = appendNeighbors(dst, pc.Neighbors)
+	}
+	return dst
+}
+
+// EncodePeerShares emits an aggregated relay reply (see AppendPeerShares).
+func EncodePeerShares(ps PeerShares) []byte {
+	return AppendPeerShares(nil, ps)
+}
+
+func appendHeader(dst []byte, typ byte) []byte {
+	return append(dst, magic[0], magic[1], magic[2], magic[3], version, typ)
+}
+
+func appendPoint(dst []byte, p geom.Point) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.X))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Y))
 }
 
 func getPoint(buf []byte, off int) geom.Point {
@@ -308,13 +466,17 @@ func getPoint(buf []byte, off int) geom.Point {
 
 // Message is a decoded wire message.
 type Message struct {
-	Type   byte
-	Cache  core.PeerCache // valid when Type == TypeCacheShare
-	Pos    geom.Point     // valid when Type == TypePosition
-	Query  Query          // valid when Type == TypeQuery
-	Range  RangeQuery     // valid when Type == TypeRange
-	Answer Answer         // valid when Type == TypeAnswer
-	Err    ErrorMsg       // valid when Type == TypeError
+	Type    byte
+	Cache   core.PeerCache // valid when Type == TypeCacheShare
+	Pos     geom.Point     // valid when Type == TypePosition
+	Query   Query          // valid when Type == TypeQuery
+	Range   RangeQuery     // valid when Type == TypeRange
+	Answer  Answer         // valid when Type == TypeAnswer
+	Err     ErrorMsg       // valid when Type == TypeError
+	PeerReq PeerRequest    // valid when Type == TypePeerRequest
+	ProbeID uint32         // valid when Type == TypePeerProbe
+	Share   ShareReply     // valid when Type == TypeShareReply
+	Shares  PeerShares     // valid when Type == TypePeerShares
 }
 
 // Decode parses a wire message, validating structure and coordinates.
@@ -343,6 +505,14 @@ func Decode(buf []byte) (Message, error) {
 		return decodeAnswer(buf)
 	case TypeError:
 		return decodeError(buf)
+	case TypePeerRequest:
+		return decodePeerRequest(buf)
+	case TypePeerProbe:
+		return decodePeerProbe(buf)
+	case TypeShareReply:
+		return decodeShareReply(buf)
+	case TypePeerShares:
+		return decodePeerShares(buf)
 	default:
 		return Message{}, fmt.Errorf("%w: %d", ErrBadType, buf[5])
 	}
@@ -475,6 +645,144 @@ func decodeError(buf []byte) (Message, error) {
 		ReqID: binary.LittleEndian.Uint32(buf[headerSize:]),
 		Code:  binary.LittleEndian.Uint32(buf[headerSize+4:]),
 	}}, nil
+}
+
+func decodePeerRequest(buf []byte) (Message, error) {
+	if len(buf) != PeerRequestSize {
+		return Message{}, ErrTruncated
+	}
+	r := PeerRequest{ReqID: binary.LittleEndian.Uint32(buf[headerSize:])}
+	r.Loc = getPoint(buf, headerSize+4)
+	if !finite(r.Loc) {
+		return Message{}, ErrBadFloat
+	}
+	r.Radius = math.Float64frombits(binary.LittleEndian.Uint64(buf[headerSize+4+pointSize:]))
+	if math.IsNaN(r.Radius) || math.IsInf(r.Radius, 0) {
+		return Message{}, ErrBadFloat
+	}
+	if r.Radius < 0 || math.Signbit(r.Radius) {
+		// Negative zero is excluded too: encoding must be canonical.
+		return Message{}, fmt.Errorf("%w: relay radius %g", ErrBadValue, r.Radius)
+	}
+	return Message{Type: TypePeerRequest, PeerReq: r}, nil
+}
+
+func decodePeerProbe(buf []byte) (Message, error) {
+	if len(buf) != PeerProbeSize {
+		return Message{}, ErrTruncated
+	}
+	return Message{Type: TypePeerProbe, ProbeID: binary.LittleEndian.Uint32(buf[headerSize:])}, nil
+}
+
+// decodeShare parses one loc + count + neighbors share block at off,
+// validating finiteness, the neighbor cap, and the ascending-distance
+// invariant. It returns the cache and the offset past the block.
+func decodeShare(buf []byte, off int) (core.PeerCache, int, error) {
+	if len(buf) < off+pointSize+4 {
+		return core.PeerCache{}, 0, ErrTruncated
+	}
+	loc := getPoint(buf, off)
+	if !finite(loc) {
+		return core.PeerCache{}, 0, ErrBadFloat
+	}
+	n := int(binary.LittleEndian.Uint32(buf[off+pointSize:]))
+	if n > MaxShareNeighbors {
+		return core.PeerCache{}, 0, fmt.Errorf("%w: share carries %d neighbors", ErrBadValue, n)
+	}
+	off += pointSize + 4
+	if len(buf) < off+n*poiSize {
+		return core.PeerCache{}, 0, ErrTruncated
+	}
+	neighbors := make([]core.POI, n)
+	prev := -1.0
+	for i := 0; i < n; i++ {
+		id := int64(binary.LittleEndian.Uint64(buf[off:]))
+		p := getPoint(buf, off+8)
+		if !finite(p) {
+			return core.PeerCache{}, 0, ErrBadFloat
+		}
+		// Relayed shares descend from served answers, whose ascending order
+		// is authoritative; validating instead of re-sorting keeps the
+		// encoding canonical and the PeerCache invariant intact.
+		d2 := loc.Dist2(p)
+		if d2 < prev {
+			return core.PeerCache{}, 0, ErrUnsorted
+		}
+		prev = d2
+		neighbors[i] = core.POI{ID: id, Loc: p}
+		off += poiSize
+	}
+	return core.PeerCache{QueryLoc: loc, Neighbors: neighbors}, off, nil
+}
+
+func decodeShareReply(buf []byte) (Message, error) {
+	if len(buf) < headerSize+4+1+pointSize+4 {
+		return Message{}, ErrTruncated
+	}
+	r := ShareReply{ProbeID: binary.LittleEndian.Uint32(buf[headerSize:])}
+	switch buf[headerSize+4] {
+	case 0:
+		// Canonical empty reply: zero location bits, zero neighbors.
+		if len(buf) != ShareReplySize(0) {
+			return Message{}, ErrTruncated
+		}
+		for _, b := range buf[headerSize+5:] {
+			if b != 0 {
+				return Message{}, fmt.Errorf("%w: empty share reply carries data", ErrBadValue)
+			}
+		}
+		return Message{Type: TypeShareReply, Share: r}, nil
+	case 1:
+		pc, off, err := decodeShare(buf, headerSize+5)
+		if err != nil {
+			return Message{}, err
+		}
+		if off != len(buf) {
+			return Message{}, ErrTruncated
+		}
+		if len(pc.Neighbors) == 0 {
+			return Message{}, fmt.Errorf("%w: share reply flagged non-empty with 0 neighbors", ErrBadValue)
+		}
+		r.Has, r.Cache = true, pc
+		return Message{Type: TypeShareReply, Share: r}, nil
+	default:
+		return Message{}, fmt.Errorf("%w: share flag %d", ErrBadValue, buf[headerSize+4])
+	}
+}
+
+func decodePeerShares(buf []byte) (Message, error) {
+	if len(buf) < headerSize+4+4+4 {
+		return Message{}, ErrTruncated
+	}
+	ps := PeerShares{
+		ReqID:        binary.LittleEndian.Uint32(buf[headerSize:]),
+		PeersInRange: int(binary.LittleEndian.Uint32(buf[headerSize+4:])),
+	}
+	m := int(binary.LittleEndian.Uint32(buf[headerSize+8:]))
+	// Each share block is at least pointSize+4 bytes, so m is bounded by the
+	// message length before anything is allocated.
+	if m > (len(buf)-headerSize-12)/(pointSize+4) {
+		return Message{}, ErrTruncated
+	}
+	off := headerSize + 12
+	if m > 0 {
+		ps.Shares = make([]core.PeerCache, 0, m)
+	}
+	for i := 0; i < m; i++ {
+		pc, next, err := decodeShare(buf, off)
+		if err != nil {
+			return Message{}, err
+		}
+		if len(pc.Neighbors) == 0 {
+			return Message{}, fmt.Errorf("%w: relayed share with 0 neighbors", ErrBadValue)
+		}
+		ps.Shares = append(ps.Shares, pc)
+		off = next
+	}
+	if off != len(buf) {
+		return Message{}, ErrTruncated
+	}
+	return Message{Type: TypePeerShares, Shares: ps}, nil
 }
 
 func decodeCacheShare(buf []byte) (Message, error) {
