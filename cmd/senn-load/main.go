@@ -7,9 +7,17 @@
 // benchmark gate can ingest it, plus a "load" summary block with raw counts
 // that CI gates on (zero errors, nonzero throughput).
 //
+// With -sweep "64,256,1024" it instead runs the same load once per session
+// count and emits one combined JSON document whose "sweep" array holds a
+// summary per point — the scaling curve of the daemon's relay fan-out in a
+// single run. When -share is on, the report also carries relay-exchange
+// latency percentiles (PeerRequest sent → PeerShares received), the
+// end-to-end measure of the server's in-range sweep.
+//
 // Usage:
 //
 //	senn-load -addr 127.0.0.1:8046 -sessions 64 -duration 15s -out load.json
+//	senn-load -addr 127.0.0.1:8046 -sweep 64,256,1024 -duration 10s
 package main
 
 import (
@@ -19,6 +27,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,14 +50,16 @@ type config struct {
 	txRange     float64
 	seed        int64
 	out         string
+	sweep       string
 }
 
 // result aggregates one session's outcome.
 type result struct {
-	queries   int64
-	errors    int64
-	latencies []time.Duration
-	stats     serve.ClientStats
+	queries        int64
+	errors         int64
+	latencies      []time.Duration
+	relayLatencies []time.Duration
+	stats          serve.ClientStats
 }
 
 func main() {
@@ -63,18 +75,88 @@ func main() {
 	flag.Float64Var(&cfg.txRange, "txrange", 1000, "transmission radius sent with each peer request (m)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "movement/workload seed")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here too (stdout always)")
+	flag.StringVar(&cfg.sweep, "sweep", "", "comma-separated session counts: run once per count, emit a combined sweep report (overrides -sessions)")
 	flag.Parse()
 
-	if err := run(cfg); err != nil {
+	var err error
+	if cfg.sweep != "" {
+		err = runSweep(cfg)
+	} else {
+		err = runSingle(cfg)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "senn-load:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg config) error {
+func runSingle(cfg config) error {
+	doc, err := run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := emit(doc, cfg.out); err != nil {
+		return err
+	}
+	return gateAndNarrate(cfg, doc.Load)
+}
+
+// runSweep repeats the load once per requested session count and emits one
+// document: a "sweep" array of per-point summaries plus session-suffixed
+// benchjson entries, so the scaling curve lands in a single artifact.
+func runSweep(cfg config) error {
+	var counts []int
+	for _, f := range strings.Split(cfg.sweep, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -sweep point %q", f)
+		}
+		counts = append(counts, n)
+	}
+	doc := struct {
+		Benchmarks []benchmark   `json:"benchmarks"`
+		Sweep      []loadSummary `json:"sweep"`
+	}{}
+	for _, n := range counts {
+		pt := cfg
+		pt.sessions = n
+		fmt.Fprintf(os.Stderr, "senn-load: sweep point sessions=%d\n", n)
+		one, err := run(pt)
+		if err != nil {
+			return fmt.Errorf("sessions=%d: %w", n, err)
+		}
+		suffix := "/sessions=" + strconv.Itoa(n)
+		for _, b := range one.Benchmarks {
+			b.Name += suffix
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+		doc.Sweep = append(doc.Sweep, one.Load)
+		if err := gateAndNarrate(pt, one.Load); err != nil {
+			return err
+		}
+	}
+	return emit(doc, cfg.out)
+}
+
+func emit(doc any, out string) error {
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	os.Stdout.Write(blob)
+	if out != "" {
+		if err := os.WriteFile(out, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(cfg config) (loadDoc, error) {
 	bounds, err := fetchBounds(cfg.addr)
 	if err != nil {
-		return fmt.Errorf("fetch service bounds: %w", err)
+		return loadDoc{}, fmt.Errorf("fetch service bounds: %w", err)
 	}
 
 	// One waypoint engine for the whole fleet; each session owns slot i.
@@ -108,7 +190,7 @@ func run(cfg config) error {
 	inFlight.Wait()
 	elapsed := time.Since(start)
 
-	return report(cfg, results, elapsed, dialErrors.Load())
+	return buildDoc(cfg, results, elapsed, dialErrors.Load()), nil
 }
 
 // fetchBounds asks the server's /v1/stats for the service area.
@@ -153,6 +235,9 @@ func session(cfg config, slot int, pos geom.Point, wp *mobility.Waypoints, stop 
 	}
 	defer ws.Close()
 	cl := serve.NewSENNClient(ws, cfg.csize, cfg.txRange, cfg.share)
+	cl.SetRelayObserver(func(d time.Duration) {
+		res.relayLatencies = append(res.relayLatencies, d)
+	})
 	defer func() { res.stats = cl.Stats() }()
 
 	n := uint32(0)
@@ -235,6 +320,7 @@ type loadSummary struct {
 	DurationSec   float64 `json:"duration_sec"`
 	Queries       int64   `json:"queries"`
 	Errors        int64   `json:"errors"`
+	DialErrors    int64   `json:"dial_errors"`
 	QueriesPerSec float64 `json:"queries_per_sec"`
 	P50Ms         float64 `json:"p50_ms"`
 	P99Ms         float64 `json:"p99_ms"`
@@ -251,16 +337,31 @@ type loadSummary struct {
 	ServerSolved       int64   `json:"server_solved"`
 	SharesReceived     int64   `json:"shares_received"`
 	PeerBytes          int64   `json:"peer_bytes"`
+	// Relay-exchange latency percentiles (PeerRequest written → PeerShares
+	// decoded): the end-to-end cost of the daemon's in-range sweep plus the
+	// slowest probed peer. Zero when sharing is off.
+	RelayExchanges int64   `json:"relay_exchanges"`
+	RelayP50Ms     float64 `json:"relay_p50_ms"`
+	RelayP99Ms     float64 `json:"relay_p99_ms"`
+	RelayP999Ms    float64 `json:"relay_p999_ms"`
 }
 
-func report(cfg config, results []result, elapsed time.Duration, dialErrors int64) error {
-	var all []time.Duration
+// loadDoc is one run's report: benchjson-shaped entries plus the raw "load"
+// block CI gates on.
+type loadDoc struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+	Load       loadSummary `json:"load"`
+}
+
+func buildDoc(cfg config, results []result, elapsed time.Duration, dialErrors int64) loadDoc {
+	var all, relay []time.Duration
 	var queries, errs int64
 	var cs serve.ClientStats
 	for i := range results {
 		queries += results[i].queries
 		errs += results[i].errors
 		all = append(all, results[i].latencies...)
+		relay = append(relay, results[i].relayLatencies...)
 		st := results[i].stats
 		cs.Queries += st.Queries
 		cs.PeerSolved += st.PeerSolved
@@ -270,16 +371,14 @@ func report(cfg config, results []result, elapsed time.Duration, dialErrors int6
 		cs.PeerBytes += st.PeerBytes
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(relay, func(i, j int) bool { return relay[i] < relay[j] })
 
 	p50 := percentile(all, 50)
 	p99 := percentile(all, 99)
 	p999 := percentile(all, 99.9)
 	qps := float64(queries) / elapsed.Seconds()
 
-	doc := struct {
-		Benchmarks []benchmark `json:"benchmarks"`
-		Load       loadSummary `json:"load"`
-	}{
+	doc := loadDoc{
 		Benchmarks: []benchmark{
 			{Name: "ServeQuery/p50", Runs: int(queries), NsPerOp: float64(p50.Nanoseconds())},
 			{Name: "ServeQuery/p99", Runs: int(queries), NsPerOp: float64(p99.Nanoseconds())},
@@ -290,6 +389,7 @@ func report(cfg config, results []result, elapsed time.Duration, dialErrors int6
 			DurationSec:    elapsed.Seconds(),
 			Queries:        queries,
 			Errors:         errs,
+			DialErrors:     dialErrors,
 			QueriesPerSec:  qps,
 			P50Ms:          float64(p50) / float64(time.Millisecond),
 			P99Ms:          float64(p99) / float64(time.Millisecond),
@@ -301,37 +401,46 @@ func report(cfg config, results []result, elapsed time.Duration, dialErrors int6
 			ServerSolved:   cs.ServerSolved,
 			SharesReceived: cs.SharesReceived,
 			PeerBytes:      cs.PeerBytes,
+			RelayExchanges: int64(len(relay)),
 		},
 	}
 	if cs.Queries > 0 {
 		doc.Load.PeerSolvedFraction = float64(cs.PeerSolved) / float64(cs.Queries)
 		doc.Load.CacheHitRate = float64(cs.OwnCacheSolved) / float64(cs.Queries)
 	}
-	blob, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
+	if len(relay) > 0 {
+		rp50, rp99, rp999 := percentile(relay, 50), percentile(relay, 99), percentile(relay, 99.9)
+		doc.Load.RelayP50Ms = float64(rp50) / float64(time.Millisecond)
+		doc.Load.RelayP99Ms = float64(rp99) / float64(time.Millisecond)
+		doc.Load.RelayP999Ms = float64(rp999) / float64(time.Millisecond)
+		doc.Benchmarks = append(doc.Benchmarks,
+			benchmark{Name: "RelayExchange/p50", Runs: len(relay), NsPerOp: float64(rp50.Nanoseconds())},
+			benchmark{Name: "RelayExchange/p99", Runs: len(relay), NsPerOp: float64(rp99.Nanoseconds())},
+			benchmark{Name: "RelayExchange/p999", Runs: len(relay), NsPerOp: float64(rp999.Nanoseconds())},
+		)
 	}
-	blob = append(blob, '\n')
-	os.Stdout.Write(blob)
-	if cfg.out != "" {
-		if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
-			return err
-		}
-	}
+	return doc
+}
 
-	if errs > 0 || dialErrors > 0 {
-		return fmt.Errorf("%d session errors", errs)
+// gateAndNarrate enforces the run-level invariants (no session errors, some
+// progress) and prints the human summary to stderr.
+func gateAndNarrate(cfg config, ld loadSummary) error {
+	if ld.Errors > 0 || ld.DialErrors > 0 {
+		return fmt.Errorf("%d session errors (%d dial)", ld.Errors, ld.DialErrors)
 	}
-	if queries == 0 {
+	if ld.Queries == 0 {
 		return fmt.Errorf("no queries completed")
 	}
 	fmt.Fprintf(os.Stderr, "senn-load: %d sessions, %d queries in %.1fs (%.0f q/s), p50 %.2fms p99 %.2fms p999 %.2fms\n",
-		cfg.sessions, queries, elapsed.Seconds(), qps,
-		doc.Load.P50Ms, doc.Load.P99Ms, doc.Load.P999Ms)
-	if cs.Queries > 0 {
+		cfg.sessions, ld.Queries, ld.DurationSec, ld.QueriesPerSec, ld.P50Ms, ld.P99Ms, ld.P999Ms)
+	if ld.KNNQueries > 0 {
 		fmt.Fprintf(os.Stderr, "senn-load: sharing=%v peer-solved %d/%d (%.1f%%, own-cache %d), server %d, shares %d\n",
-			cfg.share, cs.PeerSolved, cs.Queries, 100*doc.Load.PeerSolvedFraction,
-			cs.OwnCacheSolved, cs.ServerSolved, cs.SharesReceived)
+			cfg.share, ld.PeerSolved, ld.KNNQueries, 100*ld.PeerSolvedFraction,
+			ld.CacheHits, ld.ServerSolved, ld.SharesReceived)
+	}
+	if ld.RelayExchanges > 0 {
+		fmt.Fprintf(os.Stderr, "senn-load: relay exchanges %d, p50 %.2fms p99 %.2fms p999 %.2fms\n",
+			ld.RelayExchanges, ld.RelayP50Ms, ld.RelayP99Ms, ld.RelayP999Ms)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/client"
@@ -33,13 +34,21 @@ type SENNClient struct {
 
 	pos     geom.Point
 	nextReq uint32
-	// shares holds the caches relayed for the current query; peerSrc and
-	// srv are the resolver's transport adapters, embedded so taking their
-	// address allocates nothing.
-	shares  []core.PeerCache
-	peerSrc relayPeerSource
-	srv     wireServer
-	encBuf  []byte
+	// shares holds the caches relayed for the current query (their Neighbors
+	// alias decScratch, reused per exchange — the resolver copies anything it
+	// keeps); peerSrc and srv are the resolver's transport adapters, embedded
+	// so taking their address allocates nothing. encBuf and decScratch make
+	// the steady-state exchange allocation-free on both directions of the
+	// relay channel, mirroring serveConn's pooled AppendAnswer buffer.
+	shares     []core.PeerCache
+	peerSrc    relayPeerSource
+	srv        wireServer
+	encBuf     []byte
+	decScratch wire.SharesScratch
+
+	// relayObs, when set, observes each completed relay exchange's latency
+	// (PeerRequest written → PeerShares decoded).
+	relayObs func(time.Duration)
 
 	stats ClientStats
 }
@@ -91,15 +100,22 @@ func NewSENNClient(ws *WSConn, capacity int, txRange float64, sharing bool) *SEN
 // Stats returns the cumulative counters.
 func (c *SENNClient) Stats() ClientStats { return c.stats }
 
+// SetRelayObserver installs fn to be called with the wall-clock latency of
+// each completed relay exchange (load harnesses feed these into their
+// percentile digests). nil removes the observer.
+func (c *SENNClient) SetRelayObserver(fn func(time.Duration)) { c.relayObs = fn }
+
 // Cache exposes the client's local cache (tests prime and inspect it).
 func (c *SENNClient) Cache() *cache.Cache { return c.cache }
 
 // Move streams the client's new position to the daemon. The position is
-// what the relay's range sweep reads, so it must precede any Query that
-// expects neighbors to see this host.
+// what the relay's range sweep reads (and what keeps the server's spatial
+// directory current), so it must precede any Query that expects neighbors
+// to see this host.
 func (c *SENNClient) Move(p geom.Point) error {
 	c.pos = p
-	return c.ws.WriteBinary(wire.EncodePosition(p))
+	c.encBuf = wire.AppendPosition(c.encBuf[:0], p)
+	return c.ws.WriteBinary(c.encBuf)
 }
 
 // Query resolves a k-nearest-neighbor query at the client's current
@@ -182,7 +198,11 @@ func (c *SENNClient) Range(radius float64) (int, error) {
 }
 
 // gatherShares runs the relay exchange: send PeerRequest, service probes,
-// collect the PeerShares aggregate into c.shares.
+// collect the PeerShares aggregate into c.shares. The aggregate is decoded
+// into the client's reusable scratch (wire.DecodePeerSharesInto), so a
+// steady stream of exchanges allocates nothing once the scratch has grown
+// to the neighborhood's working-set size — the decode-side mirror of the
+// pooled encode buffer.
 func (c *SENNClient) gatherShares() error {
 	c.shares = c.shares[:0]
 	c.nextReq++
@@ -192,11 +212,41 @@ func (c *SENNClient) gatherShares() error {
 		Loc:    c.pos,
 		Radius: c.txRange,
 	})
+	var start time.Time
+	if c.relayObs != nil {
+		start = time.Now()
+	}
 	if err := c.ws.WriteBinary(c.encBuf); err != nil {
 		return err
 	}
 	for {
-		msg, err := c.readMsg()
+		data, err := c.ws.ReadMessage()
+		if err != nil {
+			return err
+		}
+		typ, err := wire.PeekType(data)
+		if err != nil {
+			return err
+		}
+		if typ == wire.TypePeerShares {
+			ps, err := wire.DecodePeerSharesInto(data, &c.decScratch)
+			if err != nil {
+				return err
+			}
+			if ps.ReqID != reqID {
+				return fmt.Errorf("serve: client: peer shares for request %d, want %d",
+					ps.ReqID, reqID)
+			}
+			if c.relayObs != nil {
+				c.relayObs(time.Since(start))
+			}
+			// The decoder has already enforced ascending neighbor order on
+			// every share, so they feed the resolver directly — no re-sort.
+			c.shares = append(c.shares, ps.Shares...)
+			c.stats.SharesReceived += int64(len(ps.Shares))
+			return nil
+		}
+		msg, err := wire.Decode(data)
 		if err != nil {
 			return err
 		}
@@ -205,16 +255,6 @@ func (c *SENNClient) gatherShares() error {
 			if err := c.answerProbe(msg.ProbeID); err != nil {
 				return err
 			}
-		case wire.TypePeerShares:
-			if msg.Shares.ReqID != reqID {
-				return fmt.Errorf("serve: client: peer shares for request %d, want %d",
-					msg.Shares.ReqID, reqID)
-			}
-			// The decoder has already enforced ascending neighbor order on
-			// every share, so they feed the resolver directly — no re-sort.
-			c.shares = append(c.shares, msg.Shares.Shares...)
-			c.stats.SharesReceived += int64(len(msg.Shares.Shares))
-			return nil
 		case wire.TypeError:
 			return fmt.Errorf("serve: client: server error code %d during relay", msg.Err.Code)
 		default:

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -25,13 +26,18 @@ import (
 // peers that die or stall mid-probe; late replies after either look like
 // forged probe IDs and are counted, not forwarded.
 //
-// Concurrency: relayTable.mu orders all state transitions; the terminal
+// Concurrency: in-flight relays are striped across relayShards pending
+// maps keyed by probe ID, so concurrent relays touch different locks; each
+// relay's state transitions are ordered by its shard's mutex, the terminal
 // transition (countdown reaching zero, timeout, or requester disconnect)
 // flips done exactly once, and the PeerShares write to the requester always
 // happens after the lock is released — no mutex is ever held across a
-// transport write. The position scan is a linear sweep of the session
-// table; at daemon scale (hundreds of sessions) that is cheaper than
-// maintaining a spatial index under churn.
+// transport write. The in-range sweep reads the sharded session directory
+// (directory.go), scanning only the covered grid cells — it never takes the
+// global Server.mu, so relay fan-out stays sublinear in the session count
+// and free of global contention. The per-request scratch (target slice,
+// pending state with its share slice, encode buffer) is pooled, keeping
+// steady-state fan-out allocation-flat.
 
 // defaultRelayTimeout bounds how long a relay waits for probed peers.
 const defaultRelayTimeout = 2 * time.Second
@@ -40,7 +46,13 @@ const defaultRelayTimeout = 2 * time.Second
 // one session cannot conscript the whole service area as its neighborhood.
 const defaultMaxTxRange = 10_000.0
 
-// pendingRelay is one in-flight fan-out.
+// relayShards stripes the pending-relay table. Power of two; probe IDs are
+// dealt round-robin, so consecutive relays land on distinct locks.
+const relayShards = 16
+
+// pendingRelay is one in-flight fan-out. Instances are pooled: the waiting
+// map and shares slice survive recycling, so a steady relay load stops
+// allocating once the pool is warm.
 type pendingRelay struct {
 	reqConn *WSConn
 	reqID   uint32
@@ -54,11 +66,54 @@ type pendingRelay struct {
 	done         bool
 }
 
+// relayShard is one stripe of the pending table.
+type relayShard struct {
+	mu      sync.Mutex
+	pending map[uint32]*pendingRelay
+}
+
 // relayTable is the daemon's in-flight relay state.
 type relayTable struct {
-	mu        sync.Mutex
-	nextProbe uint32
-	pending   map[uint32]*pendingRelay
+	nextProbe atomic.Uint32
+	shards    [relayShards]relayShard
+}
+
+// shard returns the stripe owning a probe ID.
+func (t *relayTable) shard(probeID uint32) *relayShard {
+	return &t.shards[probeID&(relayShards-1)]
+}
+
+// relayTargetPool recycles the per-request target snapshot slices.
+var relayTargetPool = sync.Pool{
+	New: func() any { s := make([]relayTarget, 0, 64); return &s },
+}
+
+// relayPendingPool recycles pendingRelay state (including the waiting map
+// and the aggregated share slice's backing array).
+var relayPendingPool = sync.Pool{
+	New: func() any { return &pendingRelay{waiting: make(map[*session]bool)} },
+}
+
+// relayBufPool recycles relay encode buffers (probe frames and PeerShares
+// deliveries). The batched and immediate writers both copy the payload into
+// the connection's own buffer before returning, so recycling is safe.
+var relayBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 256); return &b },
+}
+
+// recycleRelay returns a terminal pendingRelay to the pool. The caller owns
+// pr exclusively: it has been removed from its shard's pending map, so no
+// concurrent reply, drop, or timer path can find it anymore.
+func recycleRelay(pr *pendingRelay) {
+	clear(pr.waiting)
+	for i := range pr.shares {
+		pr.shares[i] = core.PeerCache{} // drop decoded-cache references
+	}
+	pr.reqConn = nil
+	pr.shares = pr.shares[:0]
+	pr.timer = nil
+	pr.done = false
+	relayPendingPool.Put(pr)
 }
 
 // peersInRangeBucket maps a peer count to its histogram bucket:
@@ -85,64 +140,63 @@ func (s *Server) startRelay(reqSess *session, ws *WSConn, req wire.PeerRequest) 
 	}
 	s.stat.relayRequests.Add(1)
 
-	// Snapshot the in-range targets: connected sessions (other than the
-	// requester) whose last streamed position lies within the radius.
-	type target struct {
-		sess *session
-		conn *WSConn
-	}
-	var targets []target
-	r2 := radius * radius
-	s.mu.Lock()
-	for _, sess := range s.sessions {
-		if sess == reqSess {
-			continue
-		}
-		sess.mu.Lock()
-		conn, pos, hasPos := sess.conn, sess.pos, sess.hasPos
-		sess.mu.Unlock()
-		if conn == nil || !hasPos {
-			continue
-		}
-		if req.Loc.Dist2(pos) > r2 {
-			continue
-		}
-		targets = append(targets, target{sess: sess, conn: conn})
-	}
-	s.mu.Unlock()
+	// Snapshot the in-range targets from the spatial directory: connected
+	// sessions (other than the requester) whose last streamed position lies
+	// within the radius. Only the covered grid cells are scanned.
+	tp := relayTargetPool.Get().(*[]relayTarget)
+	targets := s.dir.collectTargets(reqSess, req.Loc, radius, (*tp)[:0])
 	s.stat.peersInRange[peersInRangeBucket(len(targets))].Add(1)
 
 	if len(targets) == 0 {
-		return ws.WriteBinaryBatched(wire.EncodePeerShares(wire.PeerShares{ReqID: req.ReqID}))
+		*tp = targets
+		relayTargetPool.Put(tp)
+		bp := relayBufPool.Get().(*[]byte)
+		buf := wire.AppendPeerShares((*bp)[:0], wire.PeerShares{ReqID: req.ReqID})
+		err := ws.WriteBinaryBatched(buf)
+		*bp = buf
+		relayBufPool.Put(bp)
+		return err
 	}
 
-	pr := &pendingRelay{
-		reqConn:      ws,
-		reqID:        req.ReqID,
-		waiting:      make(map[*session]bool, len(targets)),
-		peersInRange: len(targets),
-	}
+	pr := relayPendingPool.Get().(*pendingRelay)
+	pr.reqConn = ws
+	pr.reqID = req.ReqID
+	pr.peersInRange = len(targets)
 	for _, t := range targets {
 		pr.waiting[t.sess] = true
 	}
-	s.relay.mu.Lock()
-	s.relay.nextProbe++
-	pr.probeID = s.relay.nextProbe
-	if s.relay.pending == nil {
-		s.relay.pending = make(map[uint32]*pendingRelay)
+	probeID := s.relay.nextProbe.Add(1)
+	pr.probeID = probeID
+	sh := s.relay.shard(probeID)
+	sh.mu.Lock()
+	if sh.pending == nil {
+		sh.pending = make(map[uint32]*pendingRelay)
 	}
-	s.relay.pending[pr.probeID] = pr
-	s.relay.mu.Unlock()
-	pr.timer = time.AfterFunc(s.relayTimeout, func() { s.relayExpired(pr.probeID) })
+	sh.pending[probeID] = pr
+	// Arm the timer inside the registration critical section: any path that
+	// finds pr in the pending map — including a reply racing in before this
+	// goroutine proceeds — is then guaranteed to observe a non-nil timer at
+	// its terminal transition.
+	pr.timer = time.AfterFunc(s.relayTimeout, func() { s.relayExpired(probeID) })
+	sh.mu.Unlock()
 
 	// Probe outside every lock. A dead target's failed write just removes
-	// it from the countdown, exactly like a disconnect.
-	probe := wire.EncodePeerProbe(pr.probeID)
+	// it from the countdown, exactly like a disconnect. pr itself is never
+	// touched from here on: the relay may complete — and pr be recycled —
+	// while this loop is still probing, so it works off the local snapshot
+	// and the probe ID alone.
+	bp := relayBufPool.Get().(*[]byte)
+	probe := wire.AppendPeerProbe((*bp)[:0], probeID)
 	for _, t := range targets {
 		if t.conn.WriteBinary(probe) != nil {
-			s.relayDropPeer(pr.probeID, t.sess)
+			s.relayDropPeer(probeID, t.sess)
 		}
 	}
+	*bp = probe
+	relayBufPool.Put(bp)
+	clear(targets) // drop session references before pooling
+	*tp = targets[:0]
+	relayTargetPool.Put(tp)
 	return nil
 }
 
@@ -152,10 +206,11 @@ func (s *Server) startRelay(reqSess *session, ws *WSConn, req wire.PeerRequest) 
 // connection: the race against the timer is legitimate, so it cannot be a
 // protocol error.
 func (s *Server) handleShareReply(from *session, sh wire.ShareReply) {
-	s.relay.mu.Lock()
-	pr := s.relay.pending[sh.ProbeID]
+	st := s.relay.shard(sh.ProbeID)
+	st.mu.Lock()
+	pr := st.pending[sh.ProbeID]
 	if pr == nil || !pr.waiting[from] {
-		s.relay.mu.Unlock()
+		st.mu.Unlock()
 		s.stat.relayUnknown.Add(1)
 		return
 	}
@@ -172,58 +227,67 @@ func (s *Server) handleShareReply(from *session, sh wire.ShareReply) {
 	fire := len(pr.waiting) == 0 && !pr.done
 	if fire {
 		pr.done = true
-		delete(s.relay.pending, pr.probeID)
+		delete(st.pending, pr.probeID)
 	}
-	s.relay.mu.Unlock()
+	st.mu.Unlock()
 	if fire {
 		pr.timer.Stop()
 		s.deliverRelay(pr)
+		recycleRelay(pr)
 	}
 }
 
 // relayDropPeer removes one probed session from a relay's countdown (failed
 // probe write or disconnect), delivering the aggregate if it was the last.
 func (s *Server) relayDropPeer(probeID uint32, sess *session) {
-	s.relay.mu.Lock()
-	pr := s.relay.pending[probeID]
+	st := s.relay.shard(probeID)
+	st.mu.Lock()
+	pr := st.pending[probeID]
 	if pr == nil || !pr.waiting[sess] {
-		s.relay.mu.Unlock()
+		st.mu.Unlock()
 		return
 	}
 	delete(pr.waiting, sess)
 	fire := len(pr.waiting) == 0 && !pr.done
 	if fire {
 		pr.done = true
-		delete(s.relay.pending, pr.probeID)
+		delete(st.pending, pr.probeID)
 	}
-	s.relay.mu.Unlock()
+	st.mu.Unlock()
 	if fire {
 		pr.timer.Stop()
 		s.deliverRelay(pr)
+		recycleRelay(pr)
 	}
 }
 
-// relayExpired is the timer path: deliver whatever arrived in time.
+// relayExpired is the timer path: deliver whatever arrived in time. The
+// probe ID (not the pendingRelay) names the relay, so a stale timer whose
+// relay already completed — and whose state may have been recycled into a
+// different relay — finds nothing in the map and leaves.
 func (s *Server) relayExpired(probeID uint32) {
-	s.relay.mu.Lock()
-	pr := s.relay.pending[probeID]
+	st := s.relay.shard(probeID)
+	st.mu.Lock()
+	pr := st.pending[probeID]
 	if pr == nil || pr.done {
-		s.relay.mu.Unlock()
+		st.mu.Unlock()
 		return
 	}
 	pr.done = true
-	delete(s.relay.pending, probeID)
-	s.relay.mu.Unlock()
+	delete(st.pending, probeID)
+	st.mu.Unlock()
 	s.stat.relayTimeouts.Add(1)
 	s.deliverRelay(pr)
+	recycleRelay(pr)
 }
 
 // deliverRelay sends the aggregated PeerShares to the requester. Callers
 // hold no locks and have already made the relay's terminal transition, so
-// this runs exactly once per relay.
+// this runs exactly once per relay and owns pr exclusively.
 func (s *Server) deliverRelay(pr *pendingRelay) {
 	s.stat.relayShares.Add(int64(len(pr.shares)))
-	buf := wire.EncodePeerShares(wire.PeerShares{
+	bp := relayBufPool.Get().(*[]byte)
+	buf := wire.AppendPeerShares((*bp)[:0], wire.PeerShares{
 		ReqID:        pr.reqID,
 		PeersInRange: pr.peersInRange,
 		Shares:       pr.shares,
@@ -233,12 +297,16 @@ func (s *Server) deliverRelay(pr *pendingRelay) {
 	// waiting for exactly this message — it cannot flush its own batch.
 	//simvet:discard — a failed delivery means the requester's transport died; its serveConn observes and accounts that on its next read
 	_ = pr.reqConn.WriteBinary(buf)
+	*bp = buf
+	relayBufPool.Put(bp)
 }
 
 // dropConn detaches a finished connection from its session and settles
 // every relay it touches: relays waiting on this session lose one countdown
 // slot (completing if it was the last), and relays this connection
 // requested are cancelled outright — there is nobody left to deliver to.
+// Walks every shard of the pending table; disconnects are rare enough that
+// the sweep is fine.
 func (s *Server) dropConn(sess *session, ws *WSConn) {
 	sess.mu.Lock()
 	if sess.conn == ws {
@@ -248,30 +316,35 @@ func (s *Server) dropConn(sess *session, ws *WSConn) {
 
 	var fire []*pendingRelay
 	var cancelled []*pendingRelay
-	s.relay.mu.Lock()
-	for id, pr := range s.relay.pending {
-		if pr.reqConn == ws {
-			pr.done = true
-			delete(s.relay.pending, id)
-			cancelled = append(cancelled, pr)
-			continue
-		}
-		if pr.waiting[sess] {
-			delete(pr.waiting, sess)
-			if len(pr.waiting) == 0 && !pr.done {
+	for i := range s.relay.shards {
+		st := &s.relay.shards[i]
+		st.mu.Lock()
+		for id, pr := range st.pending {
+			if pr.reqConn == ws {
 				pr.done = true
-				delete(s.relay.pending, id)
-				fire = append(fire, pr)
+				delete(st.pending, id)
+				cancelled = append(cancelled, pr)
+				continue
+			}
+			if pr.waiting[sess] {
+				delete(pr.waiting, sess)
+				if len(pr.waiting) == 0 && !pr.done {
+					pr.done = true
+					delete(st.pending, id)
+					fire = append(fire, pr)
+				}
 			}
 		}
+		st.mu.Unlock()
 	}
-	s.relay.mu.Unlock()
 	for _, pr := range cancelled {
 		pr.timer.Stop()
+		recycleRelay(pr)
 	}
 	for _, pr := range fire {
 		pr.timer.Stop()
 		s.deliverRelay(pr)
+		recycleRelay(pr)
 	}
 }
 

@@ -316,3 +316,115 @@ func TestNetworkedSENNMatchesOracle(t *testing.T) {
 		t.Fatalf("server forwarded %d shares, client received %d", st.RelaySharesFwd, cs.SharesReceived)
 	}
 }
+
+// The relay's countdown must be insensitive to reply order: whichever
+// in-range peer answers first, the aggregate completes by countdown (never
+// the timer) and carries both shares. This is what licenses the directory's
+// cell-major target enumeration replacing the linear sweep's map order.
+func TestRelayCountdownOrderInsensitive(t *testing.T) {
+	pos1, pos2 := geom.Pt(5000, 5000), geom.Pt(5050, 5000)
+	cache1 := core.NewPeerCache(pos1, []core.POI{{ID: 101, Loc: geom.Pt(5001, 5000)}})
+	cache2 := core.NewPeerCache(pos2, []core.POI{{ID: 202, Loc: geom.Pt(5051, 5000)}})
+
+	for _, firstIsPeer1 := range []bool{true, false} {
+		srv, _ := testServer(t, 200, Options{RelayTimeout: time.Hour})
+		a := openSession(t, srv)
+		b1 := openSession(t, srv)
+		b2 := openSession(t, srv)
+		syncPosition(t, b1, pos1)
+		syncPosition(t, b2, pos2)
+
+		if err := a.WriteBinary(wire.EncodePeerRequest(wire.PeerRequest{
+			ReqID: 21, Loc: geom.Pt(5025, 5000), Radius: 200,
+		})); err != nil {
+			t.Fatal(err)
+		}
+		m1, m2 := readDecoded(t, b1), readDecoded(t, b2)
+		if m1.Type != wire.TypePeerProbe || m2.Type != wire.TypePeerProbe {
+			t.Fatalf("probes got %+v / %+v", m1, m2)
+		}
+		reply := func(ws *WSConn, probeID uint32, pc core.PeerCache) {
+			if err := ws.WriteBinary(wire.EncodeShareReply(probeID, true, pc)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if firstIsPeer1 {
+			reply(b1, m1.ProbeID, cache1)
+			reply(b2, m2.ProbeID, cache2)
+		} else {
+			reply(b2, m2.ProbeID, cache2)
+			reply(b1, m1.ProbeID, cache1)
+		}
+
+		msg := readDecoded(t, a)
+		if msg.Type != wire.TypePeerShares || msg.Shares.ReqID != 21 ||
+			msg.Shares.PeersInRange != 2 || len(msg.Shares.Shares) != 2 {
+			t.Fatalf("order %v: got %+v, want 2 shares from 2 peers", firstIsPeer1, msg)
+		}
+		ids := map[int64]bool{}
+		for _, sh := range msg.Shares.Shares {
+			ids[sh.Neighbors[0].ID] = true
+		}
+		if !ids[101] || !ids[202] {
+			t.Fatalf("order %v: delivered share set %v, want both caches", firstIsPeer1, ids)
+		}
+		if st := fetchStats(t, srv); st.RelayTimeouts != 0 {
+			t.Fatalf("order %v: relay rode the timer", firstIsPeer1)
+		}
+		a.Close()
+		b1.Close()
+		b2.Close()
+	}
+}
+
+// End-to-end churn stress for the directory and the sharded relay table:
+// several SENN clients move and query concurrently, so Position-driven
+// index patches race relay range scans, probe servicing, and pending-table
+// transitions. The nightly -race run is the real referee; here we gate on
+// every query completing and the server seeing zero protocol errors.
+func TestRelayUnderConcurrentMoves(t *testing.T) {
+	srv, _ := testServer(t, 1000, Options{})
+	const (
+		nClients = 8
+		iters    = 25
+		txRange  = 2000.0
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, nClients)
+	for i := 0; i < nClients; i++ {
+		ws := openSession(t, srv)
+		defer ws.Close()
+		wg.Add(1)
+		go func(ws *WSConn, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			cl := NewSENNClient(ws, 4, txRange, true)
+			for j := 0; j < iters; j++ {
+				p := geom.Pt(4000+rng.Float64()*2000, 4000+rng.Float64()*2000)
+				if err := cl.Move(p); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := cl.Query(1 + rng.Intn(4)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(ws, int64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := fetchStats(t, srv)
+	if st.ProtoErrors != 0 {
+		t.Fatalf("protocol_errors = %d, want 0", st.ProtoErrors)
+	}
+	if st.RelayRequests != nClients*iters {
+		t.Fatalf("relay_requests = %d, want %d", st.RelayRequests, nClients*iters)
+	}
+	if st.DirPatchOps == 0 || st.DirCellsScanned == 0 {
+		t.Fatalf("directory counters flat: %+v", st)
+	}
+}

@@ -40,6 +40,13 @@ type Options struct {
 	// FlushThreshold is the per-connection write-batching limit in bytes
 	// (default 2048; negative disables batching).
 	FlushThreshold int
+	// DirCell is the session directory's grid cell size in world units
+	// (default: 1/64 of the service area's larger side; clamped so the grid
+	// stays at most 512 cells per axis).
+	DirCell float64
+	// DirShards is the directory's lock-stripe count, rounded up to a power
+	// of two (default 64).
+	DirShards int
 }
 
 // Server is the network face of the remote spatial database: HTTP for
@@ -59,6 +66,10 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
+
+	// dir is the sharded spatial index over session positions: the relay's
+	// range sweep reads it instead of walking s.sessions under s.mu.
+	dir *sessionDirectory
 
 	relay relayTable
 
@@ -96,6 +107,15 @@ type session struct {
 	pos     geom.Point
 	hasPos  bool
 	queries int64
+
+	// Spatial-directory bookkeeping. dirMu serializes this session's cell
+	// transitions; dirIn/dirCell are read and written only under dirMu, and
+	// dirSlot only under the owning cell's shard lock (see directory.go for
+	// the full lock-ordering story).
+	dirMu   sync.Mutex
+	dirIn   bool
+	dirCell int32
+	dirSlot int32
 }
 
 func (s *session) setPos(p geom.Point) {
@@ -140,6 +160,7 @@ func NewServer(mod *sim.ServerModule, opts Options) *Server {
 		flushBytes:   opts.FlushThreshold,
 		bounds:       bounds,
 		sessions:     make(map[string]*session),
+		dir:          newSessionDirectory(bounds, opts.DirCell, opts.DirShards),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/session", s.handleNewSession)
@@ -263,6 +284,7 @@ func (s *Server) serveConn(sess *session, ws *WSConn) {
 		switch msg.Type {
 		case wire.TypePosition:
 			sess.setPos(msg.Pos)
+			s.dir.update(sess, msg.Pos)
 			s.stat.positions.Add(1)
 		case wire.TypeQuery:
 			q := msg.Query
@@ -356,6 +378,12 @@ type Stats struct {
 	RelayUnknownReplies int64   `json:"relay_unknown_replies"`
 	RelayTimeouts       int64   `json:"relay_timeouts"`
 	PeersInRangeHist    []int64 `json:"peers_in_range_hist"`
+	// Session-directory counters: grid cells visited by relay range scans,
+	// candidates rejected by the exact distance filter, and incremental
+	// index patch ops (cell moves, first insertions included).
+	DirCellsScanned int64 `json:"dir_cells_scanned"`
+	DirCandRejected int64 `json:"dir_candidates_rejected"`
+	DirPatchOps     int64 `json:"dir_patch_ops"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -387,6 +415,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RelayUnknownReplies: s.stat.relayUnknown.Load(),
 		RelayTimeouts:       s.stat.relayTimeouts.Load(),
 		PeersInRangeHist:    hist,
+		DirCellsScanned:     s.dir.cellsScanned.Load(),
+		DirCandRejected:     s.dir.candRejected.Load(),
+		DirPatchOps:         s.dir.patchOps.Load(),
 	})
 }
 

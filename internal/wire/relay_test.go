@@ -268,4 +268,129 @@ func TestAppendEncodersMatchEncode(t *testing.T) {
 	if !bytes.Equal(buf, EncodePeerShares(ps)) {
 		t.Fatal("AppendPeerShares differs from EncodePeerShares")
 	}
+	buf = AppendPeerProbe(buf[:0], 99)
+	if !bytes.Equal(buf, EncodePeerProbe(99)) {
+		t.Fatal("AppendPeerProbe differs from EncodePeerProbe")
+	}
+	buf = AppendPosition(buf[:0], geom.Pt(3, 4))
+	if !bytes.Equal(buf, EncodePosition(geom.Pt(3, 4))) {
+		t.Fatal("AppendPosition differs from EncodePosition")
+	}
+}
+
+// PeekType must agree with Decode on both the type of every valid message
+// and the rejection of every broken header.
+func TestPeekType(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, buf := range [][]byte{
+		EncodeCacheRequest(),
+		EncodePosition(geom.Pt(1, 2)),
+		EncodePeerProbe(7),
+		EncodePeerShares(PeerShares{ReqID: 1, Shares: []core.PeerCache{samplePC(2, rng)}}),
+	} {
+		typ, err := PeekType(buf)
+		if err != nil {
+			t.Fatalf("PeekType: %v", err)
+		}
+		msg, err := Decode(buf)
+		if err != nil || msg.Type != typ {
+			t.Fatalf("PeekType %d disagrees with Decode %d (%v)", typ, msg.Type, err)
+		}
+	}
+	for _, bad := range [][]byte{nil, []byte("SEN"), []byte("XENN\x01\x03"), []byte("SENN\x09\x03")} {
+		if _, err := PeekType(bad); err == nil {
+			t.Fatalf("PeekType accepted %q", bad)
+		}
+	}
+}
+
+// DecodePeerSharesInto must be observably identical to the generic Decode —
+// same accepted messages, same decoded values, same rejections — while
+// reusing one scratch across calls. This pins the scratch path to the
+// canonical validation the fuzz targets exercise through Decode.
+func TestDecodePeerSharesIntoMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	var sc SharesScratch
+	// Several decode rounds through the SAME scratch, with shrinking and
+	// growing share counts, so reuse (not just first use) is what's tested.
+	for round, counts := range [][]int{{3}, {1, 2, 5}, nil, {4, 4, 4, 4}, {2}} {
+		shares := make([]core.PeerCache, len(counts))
+		for i, n := range counts {
+			shares[i] = samplePC(n, rng)
+		}
+		ps := PeerShares{ReqID: uint32(round), PeersInRange: len(counts) + 1, Shares: shares}
+		buf := EncodePeerShares(ps)
+
+		want, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("round %d: Decode: %v", round, err)
+		}
+		got, err := DecodePeerSharesInto(buf, &sc)
+		if err != nil {
+			t.Fatalf("round %d: DecodePeerSharesInto: %v", round, err)
+		}
+		if got.ReqID != want.Shares.ReqID || got.PeersInRange != want.Shares.PeersInRange ||
+			len(got.Shares) != len(want.Shares.Shares) {
+			t.Fatalf("round %d: got %+v, want %+v", round, got, want.Shares)
+		}
+		for i := range got.Shares {
+			w := want.Shares.Shares[i]
+			g := got.Shares[i]
+			if !g.QueryLoc.Eq(w.QueryLoc) || len(g.Neighbors) != len(w.Neighbors) {
+				t.Fatalf("round %d: share %d mismatch", round, i)
+			}
+			for j := range w.Neighbors {
+				if g.Neighbors[j] != w.Neighbors[j] {
+					t.Fatalf("round %d: share %d neighbor %d mismatch", round, i, j)
+				}
+			}
+		}
+		// The decoded result must re-encode to the input bytes, same as the
+		// canonical-encoding invariant Decode carries.
+		if !bytes.Equal(AppendPeerShares(nil, got), buf) {
+			t.Fatalf("round %d: scratch decode not canonical", round)
+		}
+	}
+
+	// Rejections must match Decode's rejections exactly.
+	valid := EncodePeerShares(PeerShares{ReqID: 1, PeersInRange: 1, Shares: []core.PeerCache{samplePC(2, rng)}})
+	for name, corrupt := range map[string][]byte{
+		"wrong type":     EncodePosition(geom.Pt(1, 2)),
+		"short":          valid[:headerSize+4],
+		"trailing":       append(append([]byte(nil), valid...), 0),
+		"bad magic":      append([]byte("XENN"), valid[4:]...),
+		"unsorted share": nil, // built below
+	} {
+		if name == "unsorted share" {
+			corrupt = appendHeader(nil, TypePeerShares)
+			corrupt = binary.LittleEndian.AppendUint32(corrupt, 1)
+			corrupt = binary.LittleEndian.AppendUint32(corrupt, 1)
+			corrupt = binary.LittleEndian.AppendUint32(corrupt, 1)
+			corrupt = appendPoint(corrupt, geom.Pt(0, 0))
+			corrupt = binary.LittleEndian.AppendUint32(corrupt, 2)
+			corrupt = binary.LittleEndian.AppendUint64(corrupt, 1)
+			corrupt = appendPoint(corrupt, geom.Pt(5, 0))
+			corrupt = binary.LittleEndian.AppendUint64(corrupt, 2)
+			corrupt = appendPoint(corrupt, geom.Pt(1, 0))
+		}
+		_, decErr := Decode(corrupt)
+		_, scErr := DecodePeerSharesInto(corrupt, &sc)
+		wrongType := false
+		if _, err := PeekType(corrupt); err == nil {
+			wrongType = corrupt[5] != TypePeerShares
+		}
+		switch {
+		case wrongType:
+			if scErr == nil {
+				t.Fatalf("%s: scratch decode accepted a non-PeerShares message", name)
+			}
+		case (decErr == nil) != (scErr == nil):
+			t.Fatalf("%s: Decode err=%v, scratch err=%v", name, decErr, scErr)
+		}
+	}
+
+	// The scratch must still work after error paths.
+	if _, err := DecodePeerSharesInto(valid, &sc); err != nil {
+		t.Fatalf("scratch poisoned by error path: %v", err)
+	}
 }

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -310,9 +311,14 @@ func PeerSharesSize(neighborCounts []int) int {
 	return size
 }
 
+// AppendPosition appends an encoded position update to dst.
+func AppendPosition(dst []byte, p geom.Point) []byte {
+	return appendPoint(appendHeader(dst, TypePosition), p)
+}
+
 // EncodePosition emits a position update.
 func EncodePosition(p geom.Point) []byte {
-	return appendPoint(appendHeader(make([]byte, 0, PositionSize), TypePosition), p)
+	return AppendPosition(make([]byte, 0, PositionSize), p)
 }
 
 // Bound flags of the Query layout.
@@ -400,10 +406,15 @@ func EncodePeerRequest(r PeerRequest) []byte {
 	return AppendPeerRequest(make([]byte, 0, PeerRequestSize), r)
 }
 
-// EncodePeerProbe emits a relayed cache request carrying the probe id the
+// AppendPeerProbe appends a relayed cache request carrying the probe id the
 // peer must echo in its ShareReply.
+func AppendPeerProbe(dst []byte, probeID uint32) []byte {
+	return binary.LittleEndian.AppendUint32(appendHeader(dst, TypePeerProbe), probeID)
+}
+
+// EncodePeerProbe emits a relayed cache request (see AppendPeerProbe).
 func EncodePeerProbe(probeID uint32) []byte {
-	return binary.LittleEndian.AppendUint32(appendHeader(make([]byte, 0, PeerProbeSize), TypePeerProbe), probeID)
+	return AppendPeerProbe(make([]byte, 0, PeerProbeSize), probeID)
 }
 
 // AppendShareReply appends an encoded probe reply to dst. When has is false
@@ -479,18 +490,30 @@ type Message struct {
 	Shares  PeerShares     // valid when Type == TypePeerShares
 }
 
-// Decode parses a wire message, validating structure and coordinates.
-func Decode(buf []byte) (Message, error) {
+// PeekType validates the message header and returns the message type
+// without decoding the payload. It lets a receiver that wants scratch-based
+// decoding for one hot type (see DecodePeerSharesInto) dispatch before
+// paying for a generic Decode.
+func PeekType(buf []byte) (byte, error) {
 	if len(buf) < headerSize {
-		return Message{}, ErrTooShort
+		return 0, ErrTooShort
 	}
 	if [4]byte(buf[:4]) != magic {
-		return Message{}, ErrBadMagic
+		return 0, ErrBadMagic
 	}
 	if buf[4] != version {
-		return Message{}, fmt.Errorf("%w: %d", ErrBadVersion, buf[4])
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, buf[4])
 	}
-	switch buf[5] {
+	return buf[5], nil
+}
+
+// Decode parses a wire message, validating structure and coordinates.
+func Decode(buf []byte) (Message, error) {
+	typ, err := PeekType(buf)
+	if err != nil {
+		return Message{}, err
+	}
+	switch typ {
 	case TypeCacheRequest:
 		return Message{Type: TypeCacheRequest}, nil
 	case TypeCacheShare:
@@ -674,45 +697,56 @@ func decodePeerProbe(buf []byte) (Message, error) {
 	return Message{Type: TypePeerProbe, ProbeID: binary.LittleEndian.Uint32(buf[headerSize:])}, nil
 }
 
-// decodeShare parses one loc + count + neighbors share block at off,
+// decodeShareInto parses one loc + count + neighbors share block at off,
 // validating finiteness, the neighbor cap, and the ascending-distance
-// invariant. It returns the cache and the offset past the block.
-func decodeShare(buf []byte, off int) (core.PeerCache, int, error) {
+// invariant. Neighbors are appended to arena; the returned cache's Neighbors
+// alias the appended region (capped, so appending to the arena later cannot
+// write through them). It returns the cache, the offset past the block, and
+// the grown arena. Single validation path for every relayed-share decoder.
+func decodeShareInto(buf []byte, off int, arena []core.POI) (core.PeerCache, int, []core.POI, error) {
 	if len(buf) < off+pointSize+4 {
-		return core.PeerCache{}, 0, ErrTruncated
+		return core.PeerCache{}, 0, arena, ErrTruncated
 	}
 	loc := getPoint(buf, off)
 	if !finite(loc) {
-		return core.PeerCache{}, 0, ErrBadFloat
+		return core.PeerCache{}, 0, arena, ErrBadFloat
 	}
 	n := int(binary.LittleEndian.Uint32(buf[off+pointSize:]))
 	if n > MaxShareNeighbors {
-		return core.PeerCache{}, 0, fmt.Errorf("%w: share carries %d neighbors", ErrBadValue, n)
+		return core.PeerCache{}, 0, arena, fmt.Errorf("%w: share carries %d neighbors", ErrBadValue, n)
 	}
 	off += pointSize + 4
 	if len(buf) < off+n*poiSize {
-		return core.PeerCache{}, 0, ErrTruncated
+		return core.PeerCache{}, 0, arena, ErrTruncated
 	}
-	neighbors := make([]core.POI, n)
+	arena = slices.Grow(arena, n)
+	start := len(arena)
 	prev := -1.0
 	for i := 0; i < n; i++ {
 		id := int64(binary.LittleEndian.Uint64(buf[off:]))
 		p := getPoint(buf, off+8)
 		if !finite(p) {
-			return core.PeerCache{}, 0, ErrBadFloat
+			return core.PeerCache{}, 0, arena, ErrBadFloat
 		}
 		// Relayed shares descend from served answers, whose ascending order
 		// is authoritative; validating instead of re-sorting keeps the
 		// encoding canonical and the PeerCache invariant intact.
 		d2 := loc.Dist2(p)
 		if d2 < prev {
-			return core.PeerCache{}, 0, ErrUnsorted
+			return core.PeerCache{}, 0, arena, ErrUnsorted
 		}
 		prev = d2
-		neighbors[i] = core.POI{ID: id, Loc: p}
+		arena = append(arena, core.POI{ID: id, Loc: p})
 		off += poiSize
 	}
-	return core.PeerCache{QueryLoc: loc, Neighbors: neighbors}, off, nil
+	end := len(arena)
+	return core.PeerCache{QueryLoc: loc, Neighbors: arena[start:end:end]}, off, arena, nil
+}
+
+// decodeShare is decodeShareInto with fresh storage per share.
+func decodeShare(buf []byte, off int) (core.PeerCache, int, error) {
+	pc, next, _, err := decodeShareInto(buf, off, nil)
+	return pc, next, err
 }
 
 func decodeShareReply(buf []byte) (Message, error) {
@@ -783,6 +817,67 @@ func decodePeerShares(buf []byte) (Message, error) {
 		return Message{}, ErrTruncated
 	}
 	return Message{Type: TypePeerShares, Shares: ps}, nil
+}
+
+// SharesScratch is reusable storage for DecodePeerSharesInto: the share
+// slice and one POI arena backing every share's Neighbors. A receiver that
+// decodes PeerShares in a loop keeps one scratch and stops allocating once
+// it has grown to the working-set size.
+type SharesScratch struct {
+	shares []core.PeerCache
+	arena  []core.POI
+}
+
+// DecodePeerSharesInto parses a TypePeerShares message like Decode, but
+// decodes into sc's reusable storage instead of fresh allocations. The
+// returned PeerShares (its Shares slice and every Neighbors slice) aliases
+// sc and is valid only until the next call with the same scratch — callers
+// that retain shares must copy them (which every cache-storing path in this
+// repo already does). Validation is byte-for-byte the same as Decode's:
+// both run the single decodeShareInto path.
+func DecodePeerSharesInto(buf []byte, sc *SharesScratch) (PeerShares, error) {
+	typ, err := PeekType(buf)
+	if err != nil {
+		return PeerShares{}, err
+	}
+	if typ != TypePeerShares {
+		return PeerShares{}, fmt.Errorf("%w: %d (want PeerShares)", ErrBadType, typ)
+	}
+	if len(buf) < headerSize+4+4+4 {
+		return PeerShares{}, ErrTruncated
+	}
+	ps := PeerShares{
+		ReqID:        binary.LittleEndian.Uint32(buf[headerSize:]),
+		PeersInRange: int(binary.LittleEndian.Uint32(buf[headerSize+4:])),
+	}
+	m := int(binary.LittleEndian.Uint32(buf[headerSize+8:]))
+	if m > (len(buf)-headerSize-12)/(pointSize+4) {
+		return PeerShares{}, ErrTruncated
+	}
+	shares := sc.shares[:0]
+	arena := sc.arena[:0]
+	off := headerSize + 12
+	for i := 0; i < m; i++ {
+		var pc core.PeerCache
+		pc, off, arena, err = decodeShareInto(buf, off, arena)
+		if err != nil {
+			sc.arena = arena
+			return PeerShares{}, err
+		}
+		if len(pc.Neighbors) == 0 {
+			sc.arena = arena
+			return PeerShares{}, fmt.Errorf("%w: relayed share with 0 neighbors", ErrBadValue)
+		}
+		shares = append(shares, pc)
+	}
+	sc.shares, sc.arena = shares, arena
+	if off != len(buf) {
+		return PeerShares{}, ErrTruncated
+	}
+	if m > 0 {
+		ps.Shares = shares
+	}
+	return ps, nil
 }
 
 func decodeCacheShare(buf []byte) (Message, error) {
